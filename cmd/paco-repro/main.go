@@ -1,0 +1,50 @@
+// Command paco-repro runs the paper's entire evaluation end to end —
+// every table and figure — and writes one combined report, suitable for
+// regenerating EXPERIMENTS.md's measured columns.
+//
+// Usage:
+//
+//	paco-repro [-quick] [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"paco/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small test-scale configuration")
+	out := flag.String("out", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paco-repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	order := []string{"fig2", "fig3a", "fig3b", "table7", "fig8", "fig9", "fig10", "fig12", "tableA1"}
+	for _, name := range order {
+		start := time.Now()
+		fmt.Fprintf(w, "==================== %s ====================\n", name)
+		if err := experiments.Run(name, cfg, w); err != nil {
+			fmt.Fprintln(os.Stderr, "paco-repro:", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(os.Stderr, "[%s: %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

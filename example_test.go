@@ -1,0 +1,71 @@
+package paco_test
+
+import (
+	"fmt"
+
+	"paco"
+)
+
+// ExampleNewPaCo shows the embedding API: feed branch lifecycle events and
+// read the goodpath probability.
+func ExampleNewPaCo() {
+	p := paco.NewPaCo(paco.PaCoConfig{})
+
+	// Six cold (MDC 0) conditional branches enter the pipeline.
+	ev := paco.BranchEvent{PC: 0x1000, MDC: 0, Conditional: true}
+	var live []paco.Contribution
+	for i := 0; i < 6; i++ {
+		live = append(live, p.BranchFetched(ev))
+	}
+	fmt.Printf("six unresolved cold branches: P(goodpath) < 1: %v\n", p.GoodpathProb() < 1)
+
+	// They all resolve; certainty returns.
+	for _, c := range live {
+		p.BranchResolved(c)
+	}
+	fmt.Printf("drained: P(goodpath) = %.0f\n", p.GoodpathProb())
+	// Output:
+	// six unresolved cold branches: P(goodpath) < 1: true
+	// drained: P(goodpath) = 1
+}
+
+// ExampleEncodeProbThreshold shows how applications use encoded
+// thresholds: one conversion, then integer compares.
+func ExampleEncodeProbThreshold() {
+	threshold := paco.EncodeProbThreshold(0.5) // gate below 50% goodpath
+
+	p := paco.NewPaCo(paco.PaCoConfig{})
+	ev := paco.BranchEvent{PC: 0x2000, MDC: 0, Conditional: true}
+	for i := 0; i < 10; i++ {
+		p.BranchFetched(ev)
+		if p.EncodedSum() > threshold {
+			fmt.Printf("gated after %d unresolved branches\n", i+1)
+			break
+		}
+	}
+	// Output:
+	// gated after 2 unresolved branches
+}
+
+// ExampleNewMachine runs a bundled benchmark model on the paper's Table 6
+// machine.
+func ExampleNewMachine() {
+	m, err := paco.NewMachine(paco.DefaultMachineConfig())
+	if err != nil {
+		panic(err)
+	}
+	spec, err := paco.Benchmark("vortex")
+	if err != nil {
+		panic(err)
+	}
+	tid, err := m.AddThread(spec, nil)
+	if err != nil {
+		panic(err)
+	}
+	m.Run(100_000, 0)
+	st := m.ThreadStats(tid)
+	fmt.Printf("retired >= 100k: %v, mispredict rate sane: %v\n",
+		st.RetiredGood >= 100_000, st.CondMispredictRate() < 20)
+	// Output:
+	// retired >= 100k: true, mispredict rate sane: true
+}

@@ -1,0 +1,84 @@
+// Gating: run one benchmark on the bundled out-of-order core with and
+// without PaCo pipeline gating, and report the badpath-work reduction
+// versus the performance cost (the paper's Section 5.1 mechanism on a
+// single workload).
+//
+// Usage: gating [benchmark] (default bzip2)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"paco"
+)
+
+const (
+	warmup  = 300_000
+	measure = 1_000_000
+)
+
+func run(bench string, gate paco.Gate) (ipc float64, badExec, badFetch, gated uint64, err error) {
+	m, err := paco.NewMachine(paco.DefaultMachineConfig())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	spec, err := paco.Benchmark(bench)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var ests []paco.Estimator
+	if gate != nil {
+		ests = append(ests, gate.Estimator())
+	}
+	tid, err := m.AddThread(spec, ests)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if gate != nil {
+		m.SetGate(gate.ShouldGate)
+	}
+	m.Run(warmup, 0)
+	m.ResetStats()
+	m.Run(measure, 0)
+	st := m.ThreadStats(tid)
+	return m.IPC(tid), st.ExecutedBad, st.FetchedBad, st.GatedCycles, nil
+}
+
+func main() {
+	bench := "bzip2"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	fmt.Printf("pipeline gating on %s (%d instructions measured)\n\n", bench, measure)
+
+	baseIPC, baseExec, baseFetch, _, err := run(bench, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s IPC %.3f, badpath executed %d, badpath fetched %d\n",
+		"no gating:", baseIPC, baseExec, baseFetch)
+
+	for _, target := range []float64{0.05, 0.20, 0.50} {
+		gate := paco.NewProbGate(target, 0)
+		ipc, badExec, badFetch, gated, err := run(bench, gate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PaCo @ %3.0f%%:   IPC %.3f (%+.2f%%), badpath executed %+.1f%%, fetched %+.1f%%, gated %d cycles\n",
+			target*100, ipc, 100*(ipc-baseIPC)/baseIPC,
+			-100*(float64(baseExec)-float64(badExec))/float64(baseExec),
+			-100*(float64(baseFetch)-float64(badFetch))/float64(baseFetch), gated)
+	}
+
+	gate := paco.NewCountGate(3, 2)
+	ipc, badExec, badFetch, gated, err := run(bench, gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JRS3 gate@2:   IPC %.3f (%+.2f%%), badpath executed %+.1f%%, fetched %+.1f%%, gated %d cycles\n",
+		ipc, 100*(ipc-baseIPC)/baseIPC,
+		-100*(float64(baseExec)-float64(badExec))/float64(baseExec),
+		-100*(float64(baseFetch)-float64(badFetch))/float64(baseFetch), gated)
+}

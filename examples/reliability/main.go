@@ -1,0 +1,87 @@
+// Reliability: measure how well-calibrated PaCo's goodpath probability is
+// on one benchmark, and render the reliability diagram (Figure 8) as an
+// ASCII plot: predicted probability against observed probability, with the
+// instance histogram.
+//
+// Usage: reliability [benchmark] (default parser, the paper's example)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"paco"
+	"paco/internal/core"
+	"paco/internal/metrics"
+)
+
+func main() {
+	bench := "parser"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	m, err := paco.NewMachine(paco.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := paco.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := core.NewPaCo(core.PaCoConfig{})
+	tid, err := m.AddThread(spec, []paco.Estimator{p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(400_000, 0)
+	p.Refresh()
+	m.ResetStats()
+	rel := &metrics.Reliability{}
+	m.SetProbe(func(_ int, goodpath bool) { rel.Add(p.GoodpathProb(), goodpath) })
+	m.Run(1_500_000, 0)
+
+	fmt.Printf("reliability diagram for %s (%d instances, RMS error %.4f)\n",
+		bench, rel.Instances(), rel.RMSError())
+	fmt.Println("x: predicted goodpath % (bucketed by 5), o: observed %, #: instance share")
+	fmt.Println()
+	pts := rel.Points()
+	var maxCount uint64
+	agg := map[int]*metrics.Point{}
+	for _, pt := range pts {
+		b := pt.Predicted / 5 * 5
+		a := agg[b]
+		if a == nil {
+			agg[b] = &metrics.Point{Predicted: b, Observed: pt.Observed * float64(pt.Count), Count: pt.Count}
+		} else {
+			a.Observed += pt.Observed * float64(pt.Count)
+			a.Count += pt.Count
+		}
+	}
+	for _, a := range agg {
+		if a.Count > maxCount {
+			maxCount = a.Count
+		}
+	}
+	fmt.Println("pred%   observed% (o) on 0..100 scale                              instances")
+	for b := 0; b <= 100; b += 5 {
+		a := agg[b]
+		if a == nil {
+			continue
+		}
+		obs := a.Observed / float64(a.Count)
+		line := []byte(strings.Repeat(" ", 51))
+		line[b/2] = 'x'
+		pos := int(obs / 2)
+		if pos > 50 {
+			pos = 50
+		}
+		line[pos] = 'o'
+		bar := strings.Repeat("#", int(40*a.Count/maxCount))
+		fmt.Printf("%4d  |%s| %8d %s\n", b, string(line), a.Count, bar)
+	}
+	fmt.Println("\n(x = perfect calibration position; o overlapping x means well-calibrated)")
+	_ = tid
+	_ = m.IPC(tid)
+}

@@ -1,0 +1,57 @@
+// SMT fetch prioritization: run one benchmark pair on the paper's 8-wide
+// two-thread machine under each fetch policy and compare HMWIPC (Section
+// 5.2 on a single pair).
+//
+// Usage: smtfetch [benchA benchB] (default gap mcf — the pair the paper
+// calls out where higher JRS thresholds beat threshold 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"paco/internal/cpu"
+	"paco/internal/smt"
+)
+
+func main() {
+	pair := smt.Pair{A: "gap", B: "mcf"}
+	if len(os.Args) > 2 {
+		pair = smt.Pair{A: os.Args[1], B: os.Args[2]}
+	}
+	rc := smt.RunConfig{
+		WarmupCycles:  150_000,
+		MeasureCycles: 500_000,
+		Machine:       cpu.SMTConfig(),
+	}
+	fmt.Printf("SMT fetch prioritization on %s (HMWIPC; higher is better)\n\n", pair)
+
+	singleA, err := smt.SingleIPC(rc, pair.A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleB, err := smt.SingleIPC(rc, pair.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-thread IPC: %s %.3f, %s %.3f\n\n", pair.A, singleA, pair.B, singleB)
+
+	policies := []smt.Policy{
+		&smt.RoundRobin{},
+		smt.ICount{},
+		smt.ConfCount{Threshold: 3},
+		smt.ConfCount{Threshold: 7},
+		smt.ConfCount{Threshold: 11},
+		smt.ConfCount{Threshold: 15},
+		&smt.PaCoPolicy{},
+	}
+	for _, pol := range policies {
+		a, b, err := smt.RunPair(rc, pair, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := smt.HMWIPCForPair(singleA, singleB, a, b)
+		fmt.Printf("%-10s IPCs %.3f / %.3f -> HMWIPC %.3f\n", pol.Name(), a, b, h)
+	}
+}

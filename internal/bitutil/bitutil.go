@@ -1,0 +1,181 @@
+// Package bitutil provides the small hardware-style arithmetic primitives
+// that PaCo's datapath is built from: saturating counters, a fixed-point
+// Mitchell binary-logarithm circuit, and the encoded-probability conversion
+// of the paper's Equation 3.
+//
+// Everything on the predictor's runtime path is integer arithmetic; floating
+// point appears only in test/measurement helpers (DecodeProb, ExactEncode).
+package bitutil
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SatCounter is an n-bit saturating up/down counter, the basic building
+// block of direction predictors and miss-distance counters.
+type SatCounter struct {
+	value uint32
+	max   uint32
+}
+
+// NewSatCounter returns a counter with the given width in bits (1..31) and
+// initial value (clamped to range).
+func NewSatCounter(widthBits uint, initial uint32) SatCounter {
+	if widthBits == 0 || widthBits > 31 {
+		panic("bitutil: SatCounter width out of range")
+	}
+	c := SatCounter{max: 1<<widthBits - 1}
+	c.value = min(initial, c.max)
+	return c
+}
+
+// Inc increments the counter, saturating at its maximum.
+func (c *SatCounter) Inc() {
+	if c.value < c.max {
+		c.value++
+	}
+}
+
+// Dec decrements the counter, saturating at zero.
+func (c *SatCounter) Dec() {
+	if c.value > 0 {
+		c.value--
+	}
+}
+
+// Reset sets the counter to zero.
+func (c *SatCounter) Reset() { c.value = 0 }
+
+// Set forces a value (clamped to range).
+func (c *SatCounter) Set(v uint32) { c.value = min(v, c.max) }
+
+// Value returns the current count.
+func (c *SatCounter) Value() uint32 { return c.value }
+
+// Max returns the saturation value.
+func (c *SatCounter) Max() uint32 { return c.max }
+
+// AtMax reports whether the counter is saturated high.
+func (c *SatCounter) AtMax() bool { return c.value == c.max }
+
+// MSB reports the counter's most significant bit — the "predict taken" bit
+// of a 2-bit direction counter.
+func (c *SatCounter) MSB() bool { return c.value > c.max/2 }
+
+// LogScale is the fixed-point scale of encoded probabilities: the paper
+// multiplies -log2(p) by 1024 (Equation 3).
+const LogScale = 1024
+
+// EncodedMax is the clamp applied to encoded probabilities: values above
+// 2^12 are converted to 2^12 (paper, Section 3.2). 4096/1024 = 4 bits of
+// log2, i.e. a mispredict rate above ~93.75% never occurs in practice.
+const EncodedMax = 1 << 12
+
+// Log2Fixed returns an approximation of log2(v) in Q(10) fixed point
+// (scaled by LogScale), using Mitchell's method: the characteristic is the
+// index of the most significant set bit, and the mantissa bits below it are
+// used directly as the fraction. This is exactly what a shift register plus
+// counter computes in hardware (Mitchell 1962), and is the paper's "log
+// circuit". v must be >= 1.
+func Log2Fixed(v uint32) uint32 {
+	if v == 0 {
+		panic("bitutil: Log2Fixed of zero")
+	}
+	k := uint32(bits.Len32(v) - 1) // characteristic: floor(log2 v)
+	frac := v - 1<<k               // mantissa bits below the MSB
+	var fracFixed uint32
+	if k <= 10 {
+		fracFixed = frac << (10 - k)
+	} else {
+		fracFixed = frac >> (k - 10)
+	}
+	return k*LogScale + fracFixed
+}
+
+// Log2Error returns the absolute error of Log2Fixed at v, in log2 units.
+// Mitchell's approximation under-estimates by at most ~0.0861; helper for
+// tests and documentation.
+func Log2Error(v uint32) float64 {
+	return math.Log2(float64(v)) - float64(Log2Fixed(v))/LogScale
+}
+
+// EncodeRate converts a (correct, mispredict) counter pair into the paper's
+// 12-bit encoded correct-prediction probability:
+//
+//	enc = round(-1024 * log2(correct / (correct+mispredict)))
+//	    = 1024*log2(correct+mispredict) - 1024*log2(correct)
+//
+// computed entirely with the integer Mitchell circuit. A branch bucket that
+// never mispredicts encodes to 0; enc is clamped to EncodedMax. correct must
+// be >= 1 (a bucket with zero correct predictions saturates to EncodedMax).
+func EncodeRate(correct, mispredict uint32) uint32 {
+	if correct == 0 {
+		return EncodedMax
+	}
+	total := correct + mispredict
+	lgTotal := Log2Fixed(total)
+	lgCorrect := Log2Fixed(correct)
+	if lgTotal <= lgCorrect {
+		return 0
+	}
+	enc := lgTotal - lgCorrect
+	if enc > EncodedMax {
+		return EncodedMax
+	}
+	return enc
+}
+
+// ExactEncode is the floating-point reference for EncodeRate, used by tests
+// and by the Static-MRT variant's profile tables:
+// round(-1024*log2(p)) clamped to EncodedMax.
+func ExactEncode(p float64) uint32 {
+	if p <= 0 {
+		return EncodedMax
+	}
+	if p >= 1 {
+		return 0
+	}
+	enc := math.Round(-float64(LogScale) * math.Log2(p))
+	if enc >= EncodedMax {
+		return EncodedMax
+	}
+	if enc < 0 {
+		return 0
+	}
+	return uint32(enc)
+}
+
+// DecodeProb converts an encoded probability sum back into a real
+// probability in [0, 1]: p = 2^(-enc/1024). The hardware never does this
+// (Section 3.2, "Reconverting to real Goodpath Probability"); it exists for
+// measurement and for converting an application's target probability into
+// an encoded threshold once.
+func DecodeProb(encodedSum int64) float64 {
+	if encodedSum <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(encodedSum) / LogScale)
+}
+
+// EncodeProbThreshold converts a target real probability into the encoded
+// threshold an application compares the running sum against — e.g. a 10%
+// gating target becomes 3401 (the paper quotes 3321 from its slightly
+// different rounding; the comparison semantics are identical: gate when the
+// encoded sum exceeds the threshold).
+func EncodeProbThreshold(p float64) int64 {
+	if p <= 0 {
+		return math.MaxInt64
+	}
+	if p >= 1 {
+		return 0
+	}
+	return int64(math.Round(-float64(LogScale) * math.Log2(p)))
+}
+
+func min(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package branch
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+// It predicts the target of taken branches, indirect jumps and calls.
+// Indirect control flow mispredicts whenever the stored target differs from
+// the actual one — the mechanism behind perlbmk's hot indirect call in the
+// paper. Badpath fills pollute the BTB, which is one of the pollution
+// effects the paper observes conservative gating removing.
+type BTB struct {
+	sets    [][]btbEntry
+	setMask uint64
+	ways    int
+
+	lookups uint64
+	hits    uint64
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint64 // higher = more recently used
+}
+
+// NewBTB returns a BTB with the given total entries (rounded to a power of
+// two) and associativity.
+func NewBTB(entries, ways int) *BTB {
+	if ways <= 0 {
+		panic("branch: BTB ways must be positive")
+	}
+	setCount := nextPow2(entries / ways)
+	if setCount < 1 {
+		setCount = 1
+	}
+	b := &BTB{
+		sets:    make([][]btbEntry, setCount),
+		setMask: uint64(setCount - 1),
+		ways:    ways,
+	}
+	for i := range b.sets {
+		b.sets[i] = make([]btbEntry, ways)
+	}
+	return b
+}
+
+func (b *BTB) setFor(pc uint64) ([]btbEntry, uint64) {
+	idx := (pc >> 2) & b.setMask
+	tag := pc >> 2 >> uint64(len64(b.setMask))
+	return b.sets[idx], tag
+}
+
+// Lookup returns the predicted target for pc, and whether an entry exists.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.lookups++
+	set, tag := b.setFor(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.hits++
+			b.touch(set, i)
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records (or refreshes) the target for pc, evicting the LRU way on
+// conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	set, tag := b.setFor(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].target = target
+			b.touch(set, i)
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{valid: true, tag: tag, target: target}
+	b.touch(set, victim)
+}
+
+func (b *BTB) touch(set []btbEntry, i int) {
+	maxLRU := uint64(0)
+	for j := range set {
+		if set[j].lru > maxLRU {
+			maxLRU = set[j].lru
+		}
+	}
+	set[i].lru = maxLRU + 1
+}
+
+// Stats returns lifetime lookup and hit counts.
+func (b *BTB) Stats() (lookups, hits uint64) { return b.lookups, b.hits }
+
+// RAS is a fixed-depth return address stack with wrap-around overflow, the
+// usual hardware behaviour. Speculative pushes/pops are not repaired on
+// squash (a common simplification that slightly raises return mispredicts
+// after deep wrong paths).
+type RAS struct {
+	entries []uint64
+	top     int
+	depth   int
+}
+
+// NewRAS returns a return address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("branch: RAS depth must be positive")
+	}
+	return &RAS{entries: make([]uint64, depth), depth: depth}
+}
+
+// Push records a return address (on call fetch).
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % r.depth
+	r.entries[r.top] = addr
+}
+
+// Pop predicts the return target (on return fetch).
+func (r *RAS) Pop() uint64 {
+	addr := r.entries[r.top]
+	r.top = (r.top - 1 + r.depth) % r.depth
+	return addr
+}
+
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package confidence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMDCTracksMissDistance(t *testing.T) {
+	j := New(DefaultConfig())
+	pc, hist := uint64(0x1000), uint32(0x2a)
+	if j.MDC(pc, hist, true) != 0 {
+		t.Fatal("cold MDC must be 0")
+	}
+	for i := uint32(1); i <= 5; i++ {
+		j.Update(pc, hist, true, true)
+		if got := j.MDC(pc, hist, true); got != i {
+			t.Fatalf("after %d corrects MDC = %d", i, got)
+		}
+	}
+	j.Update(pc, hist, true, false)
+	if got := j.MDC(pc, hist, true); got != 0 {
+		t.Fatalf("MDC after mispredict = %d, want 0", got)
+	}
+}
+
+func TestMDCSaturates(t *testing.T) {
+	j := New(DefaultConfig())
+	pc, hist := uint64(0x2000), uint32(3)
+	for i := 0; i < 100; i++ {
+		j.Update(pc, hist, false, true)
+	}
+	if got := j.MDC(pc, hist, false); got != MDCMax {
+		t.Fatalf("MDC saturated at %d, want %d", got, MDCMax)
+	}
+}
+
+// TestEnhancedIndexSeparatesDirections: the enhanced JRS folds the
+// predicted direction into the hash, so taken/not-taken predictions of the
+// same branch use different MDCs.
+func TestEnhancedIndexSeparatesDirections(t *testing.T) {
+	j := New(Config{Entries: 1024, Enhanced: true})
+	pc, hist := uint64(0x3000), uint32(0)
+	for i := 0; i < 7; i++ {
+		j.Update(pc, hist, true, true)
+	}
+	if j.MDC(pc, hist, true) == 0 {
+		t.Fatal("trained direction should have non-zero MDC")
+	}
+	if j.MDC(pc, hist, false) != 0 {
+		t.Fatal("untrained direction should be cold in the enhanced table")
+	}
+}
+
+func TestBasicJRSIgnoresDirection(t *testing.T) {
+	j := New(Config{Entries: 1024, Enhanced: false})
+	pc, hist := uint64(0x3000), uint32(0)
+	for i := 0; i < 7; i++ {
+		j.Update(pc, hist, true, true)
+	}
+	if j.MDC(pc, hist, true) != j.MDC(pc, hist, false) {
+		t.Fatal("non-enhanced table must ignore predicted direction")
+	}
+}
+
+func TestHistoryAffectsIndex(t *testing.T) {
+	j := New(DefaultConfig())
+	pc := uint64(0x4000)
+	for i := 0; i < 9; i++ {
+		j.Update(pc, 0x11, true, true)
+	}
+	if j.MDC(pc, 0x12, true) == j.MDC(pc, 0x11, true) && j.MDC(pc, 0x12, true) != 0 {
+		t.Fatal("different histories unexpectedly share a trained entry")
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	c := Classifier{Threshold: 3}
+	for mdc := uint32(0); mdc < 3; mdc++ {
+		if !c.LowConfidence(mdc) {
+			t.Fatalf("MDC %d should be low confidence at threshold 3", mdc)
+		}
+	}
+	for mdc := uint32(3); mdc <= MDCMax; mdc++ {
+		if c.LowConfidence(mdc) {
+			t.Fatalf("MDC %d should be high confidence at threshold 3", mdc)
+		}
+	}
+}
+
+// TestMDCNeverExceedsMax is a property over arbitrary update sequences.
+func TestMDCNeverExceedsMax(t *testing.T) {
+	j := New(Config{Entries: 256, Enhanced: true})
+	if err := quick.Check(func(pc uint64, hist uint32, pred, correct bool) bool {
+		j.Update(pc, hist, pred, correct)
+		return j.MDC(pc, hist, pred) <= MDCMax
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntriesRounding(t *testing.T) {
+	j := New(Config{Entries: 1000, Enhanced: true})
+	// 1000 rounds up to 1024; just verify the table works.
+	j.Update(0x10, 0, true, true)
+	if j.MDC(0x10, 0, true) != 1 {
+		t.Fatal("rounded table broken")
+	}
+}

@@ -1,0 +1,145 @@
+package confidence
+
+// Perceptron branch confidence estimation (Akkary, Srinivasan, Koltur,
+// Patil, Refaai: "Perceptron-based branch confidence estimation", HPCA-10,
+// 2004) — the paper's Related Work names it as a better stratifier that
+// PaCo could plug in unchanged ("a better branch confidence predictor
+// would simply provide a better stratifier").
+//
+// Each table entry is a signed-weight perceptron over the global history:
+// the magnitude of the dot product measures how strongly history predicts
+// the branch, i.e. its confidence. To remain drop-in compatible with
+// PaCo's Mispredict Rate Table, the output is quantized onto the same
+// 0..15 bucket scale as the JRS MDC.
+
+// PerceptronConfig sizes a perceptron confidence table.
+type PerceptronConfig struct {
+	// Entries is the number of perceptrons (rounded up to a power of
+	// two).
+	Entries int
+	// HistoryBits is the number of history inputs per perceptron (<= 32).
+	HistoryBits uint
+	// WeightMax bounds weight magnitude (training saturates there).
+	WeightMax int32
+	// Theta is the training margin: entries train only on a mispredict
+	// or while |output| < Theta (the standard perceptron-predictor rule,
+	// theta ~= 1.93*h + 14). Without it every mostly-correct branch
+	// saturates to the same confidence and the stratification collapses.
+	Theta int32
+}
+
+// DefaultPerceptronConfig roughly matches the hardware budget of the 8KB
+// JRS table: 512 perceptrons x 9 weights x ~2 bytes.
+func DefaultPerceptronConfig() PerceptronConfig {
+	return PerceptronConfig{Entries: 512, HistoryBits: 8, WeightMax: 127, Theta: 29}
+}
+
+// Perceptron is the confidence table.
+type Perceptron struct {
+	cfg     PerceptronConfig
+	weights [][]int32 // [entry][HistoryBits+1], index 0 is the bias
+	mask    uint64
+	// outMax is the maximum |output|, used to quantize onto 0..15.
+	outMax int32
+}
+
+// NewPerceptron builds a perceptron confidence table from cfg.
+func NewPerceptron(cfg PerceptronConfig) *Perceptron {
+	if cfg.Entries <= 0 {
+		cfg = DefaultPerceptronConfig()
+	}
+	if cfg.HistoryBits == 0 || cfg.HistoryBits > 32 {
+		cfg.HistoryBits = 8
+	}
+	if cfg.WeightMax <= 0 {
+		cfg.WeightMax = 127
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = int32(float64(cfg.HistoryBits)*1.93 + 14)
+	}
+	n := 1
+	for n < cfg.Entries {
+		n <<= 1
+	}
+	p := &Perceptron{
+		cfg:  cfg,
+		mask: uint64(n - 1),
+		// Margins hover around Theta under threshold training; quantize
+		// confidence over [0, 2*Theta).
+		outMax: 2 * cfg.Theta,
+	}
+	p.weights = make([][]int32, n)
+	for i := range p.weights {
+		p.weights[i] = make([]int32, cfg.HistoryBits+1)
+	}
+	return p
+}
+
+func (p *Perceptron) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// output computes the signed dot product of the entry's weights with the
+// bipolar history (+1 taken, -1 not taken).
+func (p *Perceptron) output(pc uint64, history uint32) int32 {
+	w := p.weights[p.index(pc)]
+	out := w[0]
+	for i := uint(0); i < p.cfg.HistoryBits; i++ {
+		if history>>i&1 == 1 {
+			out += w[i+1]
+		} else {
+			out -= w[i+1]
+		}
+	}
+	return out
+}
+
+// Confidence returns the branch's confidence as a 0..15 bucket (higher =
+// more confident), compatible with the MDC bucket scale PaCo stratifies
+// on. The signed perceptron output is the correctness margin: strongly
+// positive means the history confidently predicts a correct prediction;
+// zero or negative means low confidence.
+func (p *Perceptron) Confidence(pc uint64, history uint32) uint32 {
+	out := p.output(pc, history)
+	if out <= 0 {
+		return 0
+	}
+	bucket := uint32(int64(out) * NumBuckets / int64(p.outMax+1))
+	if bucket > MDCMax {
+		bucket = MDCMax
+	}
+	return bucket
+}
+
+// Update trains the entry toward agreeing (positive output) when the
+// prediction was correct and disagreeing when it mispredicted —
+// perceptron confidence learns |output| as a correctness margin. The
+// threshold rule applies: no training once the margin exceeds Theta on a
+// correct prediction, so the margin's steady state tracks the branch's
+// correctness rate instead of saturating.
+func (p *Perceptron) Update(pc uint64, history uint32, correct bool) {
+	out := p.output(pc, history)
+	if correct && out >= p.cfg.Theta {
+		return
+	}
+	w := p.weights[p.index(pc)]
+	dir := int32(1)
+	if !correct {
+		dir = -1
+	}
+	clamp := func(v int32) int32 {
+		if v > p.cfg.WeightMax {
+			return p.cfg.WeightMax
+		}
+		if v < -p.cfg.WeightMax {
+			return -p.cfg.WeightMax
+		}
+		return v
+	}
+	w[0] = clamp(w[0] + dir)
+	for i := uint(0); i < p.cfg.HistoryBits; i++ {
+		x := int32(-1)
+		if history>>i&1 == 1 {
+			x = 1
+		}
+		w[i+1] = clamp(w[i+1] + dir*x)
+	}
+}

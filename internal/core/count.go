@@ -1,0 +1,58 @@
+package core
+
+import "paco/internal/confidence"
+
+// CountPredictor is the conventional threshold-and-count path confidence
+// predictor (Figure 1 of the paper): each fetched conditional branch whose
+// MDC value is below a threshold increments a counter of unresolved
+// low-confidence branches; resolve or squash decrements it. The counter
+// value is the path confidence estimate — higher means less likely on
+// goodpath.
+type CountPredictor struct {
+	classifier confidence.Classifier
+	count      int
+}
+
+// NewCountPredictor returns a threshold-and-count predictor with the given
+// JRS confidence threshold (the paper sweeps 3, 7, 11, 15; 3 is the
+// conventional best).
+func NewCountPredictor(threshold uint32) *CountPredictor {
+	return &CountPredictor{classifier: confidence.Classifier{Threshold: threshold}}
+}
+
+// Reset implements Estimator.
+func (cp *CountPredictor) Reset() { cp.count = 0 }
+
+// BranchFetched implements Estimator.
+func (cp *CountPredictor) BranchFetched(ev BranchEvent) Contribution {
+	if !ev.Conditional || !cp.classifier.LowConfidence(ev.MDC) {
+		return Contribution{}
+	}
+	cp.count++
+	return Contribution{LowConf: true, Tracked: true}
+}
+
+// BranchResolved implements Estimator.
+func (cp *CountPredictor) BranchResolved(c Contribution) {
+	if c.Tracked {
+		cp.count--
+	}
+}
+
+// BranchSquashed implements Estimator.
+func (cp *CountPredictor) BranchSquashed(c Contribution) { cp.BranchResolved(c) }
+
+// BranchRetired implements Estimator. The counter predictor needs no
+// training.
+func (cp *CountPredictor) BranchRetired(BranchEvent, bool) {}
+
+// Tick implements Estimator.
+func (cp *CountPredictor) Tick(uint64) {}
+
+// Count returns the number of unresolved low-confidence branches.
+func (cp *CountPredictor) Count() int { return cp.count }
+
+// Threshold returns the configured JRS confidence threshold.
+func (cp *CountPredictor) Threshold() uint32 { return cp.classifier.Threshold }
+
+var _ Estimator = (*CountPredictor)(nil)

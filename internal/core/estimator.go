@@ -1,0 +1,70 @@
+// Package core implements the paper's contribution: the PaCo
+// probability-based path confidence predictor, together with the baselines
+// it is evaluated against — the conventional threshold-and-count predictor
+// and the Appendix A variants (Static MRT and Per-branch MRT).
+//
+// A path confidence estimator watches the lifecycle of every control-flow
+// instruction in flight:
+//
+//	fetch   -> BranchFetched  (returns a Contribution token the pipeline
+//	                           stores with the branch)
+//	execute -> BranchResolved (the branch's outcome is known; its
+//	                           contribution leaves the in-flight set)
+//	squash  -> BranchSquashed (an older mispredict killed the branch)
+//	retire  -> BranchRetired  (goodpath ground truth; training happens here)
+//
+// and Tick is called once per cycle for periodic work (PaCo's MRT
+// logarithmization). All runtime-path arithmetic is integer-only.
+package core
+
+// BranchEvent describes one dynamic control-flow instruction as seen by a
+// path confidence estimator.
+type BranchEvent struct {
+	// PC is the instruction address.
+	PC uint64
+	// History is the global branch history at prediction time.
+	History uint32
+	// MDC is the branch's miss distance counter value read from the JRS
+	// table at prediction time. Meaningless if Conditional is false.
+	MDC uint32
+	// Conditional reports whether this is a conditional branch. The JRS
+	// table assigns MDCs only to conditional branches (paper, Section
+	// 4.4), so unconditional control flow contributes nothing to path
+	// confidence — the root cause of PaCo's perlbmk inaccuracy.
+	Conditional bool
+}
+
+// Contribution is the token an estimator hands back at fetch and receives
+// at resolve/squash. Tagging branches with the exact value added keeps the
+// running sum consistent even when the encoded-probability table is
+// re-logarithmized while the branch is in flight.
+type Contribution struct {
+	// Encoded is the encoded correct-prediction probability added to the
+	// path confidence sum (PaCo variants).
+	Encoded uint32
+	// LowConf reports whether the branch was counted as low confidence
+	// (threshold-and-count baseline).
+	LowConf bool
+	// Tracked reports whether the estimator accounted for this branch at
+	// all.
+	Tracked bool
+}
+
+// Estimator is the lifecycle interface implemented by every path confidence
+// predictor in this package.
+type Estimator interface {
+	// BranchFetched accounts for a newly fetched control-flow instruction
+	// and returns the token to present at resolve or squash.
+	BranchFetched(ev BranchEvent) Contribution
+	// BranchResolved removes a resolved branch's contribution.
+	BranchResolved(c Contribution)
+	// BranchSquashed removes a squashed branch's contribution.
+	BranchSquashed(c Contribution)
+	// BranchRetired trains the estimator with goodpath ground truth:
+	// whether the branch's direction prediction was correct.
+	BranchRetired(ev BranchEvent, correct bool)
+	// Tick performs per-cycle periodic work.
+	Tick(cycle uint64)
+	// Reset returns the estimator to its post-construction state.
+	Reset()
+}

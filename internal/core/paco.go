@@ -1,0 +1,142 @@
+package core
+
+import (
+	"paco/internal/bitutil"
+	"paco/internal/confidence"
+)
+
+// DefaultRefreshPeriod is the interval, in cycles, between MRT
+// logarithmizations (paper footnote 5: 200,000 cycles; performance is not
+// very sensitive to this value).
+const DefaultRefreshPeriod = 200_000
+
+// PaCoConfig parameterizes a PaCo estimator.
+type PaCoConfig struct {
+	// RefreshPeriod is the logarithmization interval in cycles.
+	// Zero selects DefaultRefreshPeriod.
+	RefreshPeriod uint64
+	// InitialTable overrides the cold-start encoded-probability table.
+	// Nil selects DefaultStaticProfile.
+	InitialTable *[confidence.NumBuckets]uint32
+}
+
+// PaCo is the paper's probability-based path confidence predictor.
+//
+// It maintains a Mispredict Rate Table stratified by JRS MDC value, a table
+// of 12-bit encoded correct-prediction probabilities refreshed periodically
+// by the (Mitchell) log circuit, and a running integer sum of the encoded
+// probabilities of all in-flight conditional branches. The sum is the
+// encoded goodpath probability: P(goodpath) = 2^(-sum/1024).
+type PaCo struct {
+	cfg   PaCoConfig
+	mrt   *MRT
+	table [confidence.NumBuckets]uint32
+	sum   int64
+
+	lastRefresh uint64
+	refreshes   uint64
+}
+
+// NewPaCo builds a PaCo estimator from cfg.
+func NewPaCo(cfg PaCoConfig) *PaCo {
+	if cfg.RefreshPeriod == 0 {
+		cfg.RefreshPeriod = DefaultRefreshPeriod
+	}
+	p := &PaCo{cfg: cfg, mrt: NewMRT()}
+	p.initTable()
+	return p
+}
+
+func (p *PaCo) initTable() {
+	if p.cfg.InitialTable != nil {
+		p.table = *p.cfg.InitialTable
+	} else {
+		p.table = DefaultStaticProfile()
+	}
+}
+
+// Reset implements Estimator.
+func (p *PaCo) Reset() {
+	p.mrt.Reset()
+	p.initTable()
+	p.sum = 0
+	p.lastRefresh = 0
+	p.refreshes = 0
+}
+
+// BranchFetched implements Estimator: the encoded probability of the
+// branch's MDC bucket is added to the path confidence register.
+func (p *PaCo) BranchFetched(ev BranchEvent) Contribution {
+	if !ev.Conditional {
+		return Contribution{}
+	}
+	enc := p.table[ev.MDC]
+	p.sum += int64(enc)
+	return Contribution{Encoded: enc, Tracked: true}
+}
+
+// BranchResolved implements Estimator: the contribution added at fetch is
+// subtracted.
+func (p *PaCo) BranchResolved(c Contribution) {
+	if c.Tracked {
+		p.sum -= int64(c.Encoded)
+	}
+}
+
+// BranchSquashed implements Estimator. Squash and resolve are identical for
+// the sum: the branch leaves the in-flight set.
+func (p *PaCo) BranchSquashed(c Contribution) { p.BranchResolved(c) }
+
+// BranchRetired implements Estimator: goodpath branches train the MRT.
+func (p *PaCo) BranchRetired(ev BranchEvent, correct bool) {
+	if !ev.Conditional {
+		return
+	}
+	p.mrt.Record(ev.MDC, correct)
+}
+
+// Tick implements Estimator: every RefreshPeriod cycles the log circuit
+// converts MRT counters into fresh encoded probabilities and the MRT
+// resets. Buckets with no samples keep their previous encoding.
+func (p *PaCo) Tick(cycle uint64) {
+	if cycle-p.lastRefresh < p.cfg.RefreshPeriod {
+		return
+	}
+	p.lastRefresh = cycle
+	p.Refresh()
+}
+
+// Refresh forces an immediate logarithmization, independent of the periodic
+// schedule. Exposed for tests and for warm-starting experiments.
+func (p *PaCo) Refresh() {
+	for mdc := uint32(0); mdc < confidence.NumBuckets; mdc++ {
+		if enc, ok := p.mrt.Encode(mdc); ok {
+			p.table[mdc] = enc
+		}
+	}
+	p.mrt.Reset()
+	p.refreshes++
+}
+
+// EncodedSum returns the current path confidence register value: the sum of
+// encoded probabilities of all in-flight conditional branches. Zero means
+// certainly on goodpath; larger means less confident.
+func (p *PaCo) EncodedSum() int64 { return p.sum }
+
+// GoodpathProb decodes the register into a real probability in [0, 1].
+// Hardware never does this (applications compare the encoded sum against a
+// pre-encoded threshold); it exists for measurement.
+func (p *PaCo) GoodpathProb() float64 { return bitutil.DecodeProb(p.sum) }
+
+// Table returns the current encoded-probability table (copy).
+func (p *PaCo) Table() [confidence.NumBuckets]uint32 { return p.table }
+
+// MRTCounts exposes a bucket's raw counters for inspection.
+func (p *PaCo) MRTCounts(mdc uint32) (correct, mispred uint32) {
+	return p.mrt.Counts(mdc)
+}
+
+// Refreshes returns how many logarithmizations have run.
+func (p *PaCo) Refreshes() uint64 { return p.refreshes }
+
+var _ Estimator = (*PaCo)(nil)

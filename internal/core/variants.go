@@ -1,0 +1,190 @@
+package core
+
+import (
+	"paco/internal/bitutil"
+	"paco/internal/confidence"
+)
+
+// StaticMRT is the Appendix A "Static MRT" variant: encoded probabilities
+// are assigned to MDC buckets once, from profile information, and never
+// updated. It removes the log circuit and the MRT counters at the cost of
+// accuracy (the paper measures roughly 3x the RMS error of dynamic PaCo).
+type StaticMRT struct {
+	table [confidence.NumBuckets]uint32
+	sum   int64
+}
+
+// NewStaticMRT builds the variant from a profile of per-bucket encoded
+// probabilities. Nil selects DefaultStaticProfile.
+func NewStaticMRT(profile *[confidence.NumBuckets]uint32) *StaticMRT {
+	s := &StaticMRT{}
+	if profile != nil {
+		s.table = *profile
+	} else {
+		s.table = DefaultStaticProfile()
+	}
+	return s
+}
+
+// Reset implements Estimator.
+func (s *StaticMRT) Reset() { s.sum = 0 }
+
+// BranchFetched implements Estimator.
+func (s *StaticMRT) BranchFetched(ev BranchEvent) Contribution {
+	if !ev.Conditional {
+		return Contribution{}
+	}
+	enc := s.table[ev.MDC]
+	s.sum += int64(enc)
+	return Contribution{Encoded: enc, Tracked: true}
+}
+
+// BranchResolved implements Estimator.
+func (s *StaticMRT) BranchResolved(c Contribution) {
+	if c.Tracked {
+		s.sum -= int64(c.Encoded)
+	}
+}
+
+// BranchSquashed implements Estimator.
+func (s *StaticMRT) BranchSquashed(c Contribution) { s.BranchResolved(c) }
+
+// BranchRetired implements Estimator (no training).
+func (s *StaticMRT) BranchRetired(BranchEvent, bool) {}
+
+// Tick implements Estimator (no periodic work).
+func (s *StaticMRT) Tick(uint64) {}
+
+// EncodedSum returns the running encoded goodpath probability.
+func (s *StaticMRT) EncodedSum() int64 { return s.sum }
+
+// GoodpathProb decodes the running sum into a probability.
+func (s *StaticMRT) GoodpathProb() float64 { return bitutil.DecodeProb(s.sum) }
+
+var _ Estimator = (*StaticMRT)(nil)
+
+// PerBranchMRT is the Appendix A "Per-branch MRT" variant: instead of
+// stratifying by MDC value, a table indexed by a hash of the branch PC and
+// global history keeps per-branch correct/mispredict counters, and each
+// branch contributes the encoding of its own long-run rate. The paper finds
+// this *worse* than bucketed PaCo: rate counters weight ancient and recent
+// mispredicts equally, discarding the recency information the MDC encodes.
+type PerBranchMRT struct {
+	correct []bitutil.SatCounter
+	mispred []bitutil.SatCounter
+	mask    uint64
+	sum     int64
+	prior   uint32 // encoding used for never-seen branches
+}
+
+// NewPerBranchMRT builds the variant with the given number of table entries
+// (rounded up to a power of two; the paper's intent is a larger,
+// hardware-intensive table — 4096 entries by default via
+// DefaultPerBranchEntries).
+func NewPerBranchMRT(entries int) *PerBranchMRT {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	p := &PerBranchMRT{
+		correct: make([]bitutil.SatCounter, n),
+		mispred: make([]bitutil.SatCounter, n),
+		mask:    uint64(n - 1),
+		prior:   bitutil.ExactEncode(0.9), // assume 10% mispredict until seen
+	}
+	for i := range p.correct {
+		p.correct[i] = bitutil.NewSatCounter(CorrectBits, 0)
+		p.mispred[i] = bitutil.NewSatCounter(MispredBits, 0)
+	}
+	return p
+}
+
+// DefaultPerBranchEntries is the default per-branch table size.
+const DefaultPerBranchEntries = 4096
+
+// Reset implements Estimator.
+func (p *PerBranchMRT) Reset() {
+	for i := range p.correct {
+		p.correct[i].Reset()
+		p.mispred[i].Reset()
+	}
+	p.sum = 0
+}
+
+func (p *PerBranchMRT) index(pc uint64, history uint32) uint64 {
+	return ((pc >> 2) ^ uint64(history)) & p.mask
+}
+
+// BranchFetched implements Estimator: the branch contributes the encoding
+// of its own observed rate.
+func (p *PerBranchMRT) BranchFetched(ev BranchEvent) Contribution {
+	if !ev.Conditional {
+		return Contribution{}
+	}
+	i := p.index(ev.PC, ev.History)
+	c, m := p.correct[i].Value(), p.mispred[i].Value()
+	var enc uint32
+	if c+m == 0 {
+		enc = p.prior
+	} else {
+		enc = bitutil.EncodeRate(c, m)
+	}
+	p.sum += int64(enc)
+	return Contribution{Encoded: enc, Tracked: true}
+}
+
+// BranchResolved implements Estimator.
+func (p *PerBranchMRT) BranchResolved(c Contribution) {
+	if c.Tracked {
+		p.sum -= int64(c.Encoded)
+	}
+}
+
+// BranchSquashed implements Estimator.
+func (p *PerBranchMRT) BranchSquashed(c Contribution) { p.BranchResolved(c) }
+
+// BranchRetired implements Estimator: trains the branch's own counters,
+// halving both on overflow like the MRT.
+func (p *PerBranchMRT) BranchRetired(ev BranchEvent, correct bool) {
+	if !ev.Conditional {
+		return
+	}
+	i := p.index(ev.PC, ev.History)
+	c, m := &p.correct[i], &p.mispred[i]
+	if (correct && c.AtMax()) || (!correct && m.AtMax()) {
+		c.Set(c.Value() / 2)
+		m.Set(m.Value() / 2)
+	}
+	if correct {
+		c.Inc()
+	} else {
+		m.Inc()
+	}
+}
+
+// Tick implements Estimator (no periodic work).
+func (p *PerBranchMRT) Tick(uint64) {}
+
+// EncodedSum returns the running encoded goodpath probability.
+func (p *PerBranchMRT) EncodedSum() int64 { return p.sum }
+
+// GoodpathProb decodes the running sum into a probability.
+func (p *PerBranchMRT) GoodpathProb() float64 { return bitutil.DecodeProb(p.sum) }
+
+var _ Estimator = (*PerBranchMRT)(nil)
+
+// Probabilistic is implemented by estimators that produce a goodpath
+// probability (the PaCo family); the threshold-and-count baseline does not.
+type Probabilistic interface {
+	Estimator
+	// EncodedSum returns the integer path confidence register.
+	EncodedSum() int64
+	// GoodpathProb returns the decoded probability in [0, 1].
+	GoodpathProb() float64
+}
+
+var (
+	_ Probabilistic = (*PaCo)(nil)
+	_ Probabilistic = (*StaticMRT)(nil)
+	_ Probabilistic = (*PerBranchMRT)(nil)
+)

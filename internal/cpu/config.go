@@ -1,0 +1,111 @@
+// Package cpu implements the cycle-level out-of-order superscalar processor
+// model the paper evaluates on: speculative fetch with branch prediction and
+// wrong-path execution, rename/dispatch into a shared scheduler and reorder
+// buffer, latency-accurate execution with a cache hierarchy, in-order
+// retirement, and squash/recovery on branch misprediction. The same core
+// runs one hardware thread (the paper's 4-wide configuration, Table 6) or
+// several (the 8-wide SMT configuration, Table 11) with a pluggable fetch
+// policy, and exposes the goodpath oracle and instance probes PaCo's
+// evaluation needs.
+package cpu
+
+import (
+	"paco/internal/branch"
+	"paco/internal/cache"
+	"paco/internal/confidence"
+)
+
+// Config describes one simulated core.
+type Config struct {
+	// FetchWidth is the maximum instructions fetched per cycle; the fetch
+	// group also ends at taken control flow and I-cache misses.
+	FetchWidth int
+	// RetireWidth is the maximum instructions retired per cycle.
+	RetireWidth int
+	// ROBSize is the reorder buffer capacity, dynamically shared among
+	// threads.
+	ROBSize int
+	// SchedSize is the scheduler capacity, dynamically shared.
+	SchedSize int
+	// FUCount is the number of identical general-purpose function units.
+	FUCount int
+	// FrontEndDepth is the number of cycles between an instruction being
+	// fetched and it becoming eligible to issue (decode/rename/dispatch
+	// stages). During this window the front end keeps fetching down a
+	// mispredicted path — it is what creates wrong-path work.
+	FrontEndDepth uint64
+	// MispredictPenalty is the additional redirect-to-fetch delay after a
+	// misprediction is discovered at execute (front-end refill). The
+	// total minimum misprediction cost is FrontEndDepth + execute +
+	// MispredictPenalty; the defaults give the paper's ">= 10 cycles"
+	// (Table 6) and ">= 20 cycles" (Table 11).
+	MispredictPenalty uint64
+	// Predictor sizes the tournament direction predictor.
+	Predictor branch.TournamentConfig
+	// JRS sizes the confidence table.
+	JRS confidence.Config
+	// Memory sizes the cache hierarchy.
+	Memory cache.HierarchyConfig
+	// BTBEntries and BTBWays size the branch target buffer.
+	BTBEntries, BTBWays int
+	// PerceptronStratifier replaces the JRS MDC with a perceptron
+	// confidence bucket (Akkary et al.) as the estimators' stratifier —
+	// the "better stratifier" extension the paper's Related Work
+	// anticipates. The JRS table still trains (for diagnostics), but
+	// BranchEvent.MDC carries the perceptron bucket.
+	PerceptronStratifier bool
+	// RASDepth sizes the return address stack.
+	RASDepth int
+}
+
+// DefaultConfig is the paper's Table 6 machine: 4-wide, 256-entry ROB,
+// 64-entry scheduler, 4 FUs, >=10-cycle misprediction penalty, 96KB
+// tournament predictor, 8KB enhanced JRS, and the Table 6 caches.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		RetireWidth:       4,
+		ROBSize:           256,
+		SchedSize:         64,
+		FUCount:           4,
+		FrontEndDepth:     6,
+		MispredictPenalty: 3,
+		Predictor:         branch.DefaultTournamentConfig(),
+		JRS:               confidence.DefaultConfig(),
+		Memory:            cache.DefaultHierarchyConfig(),
+		BTBEntries:        2048,
+		BTBWays:           4,
+		RASDepth:          32,
+	}
+}
+
+// SMTConfig is the paper's Table 11 machine: 8-wide, 512-entry ROB, 8 FUs,
+// >=20-cycle misprediction penalty, two threads; everything else as
+// Table 6.
+func SMTConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 8
+	cfg.RetireWidth = 8
+	cfg.ROBSize = 512
+	cfg.SchedSize = 128
+	cfg.FUCount = 8
+	cfg.FrontEndDepth = 13
+	cfg.MispredictPenalty = 6
+	return cfg
+}
+
+// validate reports obviously broken configurations.
+func (c *Config) validate() error {
+	switch {
+	case c.FetchWidth <= 0, c.RetireWidth <= 0, c.ROBSize <= 0,
+		c.SchedSize <= 0, c.FUCount <= 0:
+		return errConfig
+	}
+	return nil
+}
+
+type configError struct{}
+
+func (configError) Error() string { return "cpu: invalid configuration" }
+
+var errConfig = configError{}

@@ -1,0 +1,243 @@
+package cpu
+
+import (
+	"fmt"
+
+	"paco/internal/branch"
+	"paco/internal/cache"
+	"paco/internal/confidence"
+	"paco/internal/core"
+	"paco/internal/workload"
+)
+
+// MaxEstimators is the maximum number of path confidence estimators that
+// can observe one thread simultaneously (experiments attach several passive
+// estimators to a single run).
+const MaxEstimators = 6
+
+const wheelSize = 256 // > max execute latency (3 + 10 + 100)
+
+// ref names one in-flight instruction.
+type ref struct {
+	tid int
+	seq uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid bool
+	seq   uint64
+	ins   workload.Instruction
+
+	badpath       bool
+	isControl     bool
+	conditional   bool
+	predTaken     bool
+	mispredicted  bool // fetch-time knowledge: prediction differs from actual
+	histAtPred    uint32
+	ghrCheckpoint uint32
+	mdc           uint32
+
+	contribs [MaxEstimators]core.Contribution
+
+	inSched     bool
+	eligible    bool
+	issued      bool
+	done        bool
+	pendingDeps int
+	waiters     []uint64
+}
+
+// thread is one hardware context.
+type thread struct {
+	id     int
+	walker *workload.Walker
+	wrong  *workload.WrongPath
+	ghr    *branch.History
+	ras    *branch.RAS
+	ests   []core.Estimator
+
+	rob  []robEntry
+	head uint64 // oldest in-flight seq
+	tail uint64 // next seq to allocate
+
+	onGoodpath     bool
+	fetchResume    uint64
+	pending        *workload.Instruction
+	pendingBadpath bool
+	lastFetchBlock uint64
+
+	stats ThreadStats
+	quota uint64 // goodpath instruction budget for Run
+}
+
+func (t *thread) entry(seq uint64) *robEntry { return &t.rob[seq%uint64(len(t.rob))] }
+
+func (t *thread) inFlight() int { return int(t.tail - t.head) }
+
+// Core is the simulated processor.
+type Core struct {
+	cfg        Config
+	pred       *branch.Tournament
+	jrs        *confidence.JRS
+	perceptron *confidence.Perceptron // non-nil when configured as stratifier
+	btb        *branch.BTB
+	mem        *cache.Hierarchy
+
+	threads []*thread
+	cycle   uint64
+
+	robCount   int
+	schedCount int
+
+	wheel     [wheelSize][]ref
+	arrival   [wheelSize][]ref
+	readyList []ref
+
+	gate   func() bool
+	choose func(cycle uint64, fetchable []int) int
+	probe  func(tid int, goodpath bool)
+
+	// probeRetire, when set, observes every retired conditional branch:
+	// (workload StaticID, prediction correct). Diagnostic hook.
+	probeRetire func(staticID int, correct bool)
+
+	stats Stats
+}
+
+// New builds a core from cfg with no threads; add workloads with AddThread.
+func New(cfg Config) (*Core, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:  cfg,
+		pred: branch.NewTournament(cfg.Predictor),
+		jrs:  confidence.New(cfg.JRS),
+		btb:  branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		mem:  cache.NewHierarchy(cfg.Memory),
+	}
+	if cfg.PerceptronStratifier {
+		c.perceptron = confidence.NewPerceptron(confidence.DefaultPerceptronConfig())
+	}
+	return c, nil
+}
+
+// AddThread attaches a workload and its path confidence estimators
+// (estimators observe only this thread). It returns the thread id.
+func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error) {
+	if len(ests) > MaxEstimators {
+		return 0, fmt.Errorf("cpu: at most %d estimators per thread", MaxEstimators)
+	}
+	w, err := workload.NewWalker(spec)
+	if err != nil {
+		return 0, err
+	}
+	t := &thread{
+		id:             len(c.threads),
+		walker:         w,
+		ghr:            branch.NewHistory(8),
+		ras:            branch.NewRAS(c.cfg.RASDepth),
+		ests:           ests,
+		rob:            make([]robEntry, c.cfg.ROBSize),
+		onGoodpath:     true,
+		lastFetchBlock: ^uint64(0),
+	}
+	t.wrong = workload.NewWrongPath(w)
+	c.threads = append(c.threads, t)
+	return t.id, nil
+}
+
+// SetGate installs a fetch gating predicate, consulted each cycle before
+// fetching (pipeline gating applications; single-thread runs).
+func (c *Core) SetGate(gate func() bool) { c.gate = gate }
+
+// SetChooser installs the SMT fetch policy: given the cycle and the ids of
+// threads able to fetch, return the thread that gets the fetch bandwidth.
+// Nil means round-robin.
+func (c *Core) SetChooser(choose func(cycle uint64, fetchable []int) int) { c.choose = choose }
+
+// SetProbe installs the instance probe: called after every fetch and
+// execute event with the thread id and the goodpath oracle, exactly the
+// paper's "instances" (footnotes 6-7).
+func (c *Core) SetProbe(probe func(tid int, goodpath bool)) { c.probe = probe }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// InFlight returns the number of in-flight instructions of a thread
+// (the ICOUNT policy input).
+func (c *Core) InFlight(tid int) int { return c.threads[tid].inFlight() }
+
+// OnGoodpath exposes the goodpath oracle for a thread.
+func (c *Core) OnGoodpath(tid int) bool { return c.threads[tid].onGoodpath }
+
+// Threads returns the number of attached threads.
+func (c *Core) Threads() int { return len(c.threads) }
+
+// Walker exposes a thread's workload walker (diagnostics).
+func (c *Core) Walker(tid int) *workload.Walker { return c.threads[tid].walker }
+
+// Memory exposes the cache hierarchy (diagnostics).
+func (c *Core) Memory() *cache.Hierarchy { return c.mem }
+
+// BTB exposes the branch target buffer (diagnostics).
+func (c *Core) BTB() *branch.BTB { return c.btb }
+
+// Run simulates until every thread has retired at least goodInstrs
+// goodpath instructions (or maxCycles elapses, if non-zero). It returns the
+// number of cycles simulated during this call.
+func (c *Core) Run(goodInstrs uint64, maxCycles uint64) uint64 {
+	if len(c.threads) == 0 {
+		panic("cpu: Run with no threads")
+	}
+	for _, t := range c.threads {
+		t.quota = t.stats.RetiredGood + goodInstrs
+	}
+	start := c.cycle
+	for {
+		doneAll := true
+		for _, t := range c.threads {
+			if t.stats.RetiredGood < t.quota {
+				doneAll = false
+				break
+			}
+		}
+		if doneAll {
+			break
+		}
+		if maxCycles != 0 && c.cycle-start >= maxCycles {
+			break
+		}
+		c.Step()
+	}
+	return c.cycle - start
+}
+
+// RunCycles simulates exactly n cycles (SMT throughput experiments measure
+// fixed time slices rather than fixed instruction counts). Threads fetch
+// freely — quotas are ignored.
+func (c *Core) RunCycles(n uint64) {
+	for _, t := range c.threads {
+		t.quota = ^uint64(0)
+	}
+	for i := uint64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// Step simulates one cycle.
+func (c *Core) Step() {
+	for _, t := range c.threads {
+		for _, e := range t.ests {
+			e.Tick(c.cycle)
+		}
+	}
+	c.complete()
+	c.arrive()
+	c.issue()
+	c.retire()
+	c.fetch()
+	c.cycle++
+	c.stats.Cycles++
+}

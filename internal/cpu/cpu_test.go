@@ -1,0 +1,372 @@
+package cpu
+
+import (
+	"testing"
+
+	"paco/internal/core"
+	"paco/internal/workload"
+)
+
+func testSpec(seed uint64) *workload.Spec {
+	return &workload.Spec{
+		Name:            "cputest",
+		Seed:            seed,
+		BlocksPerPhase:  200,
+		AvgBlockLen:     5,
+		LoadFrac:        0.2,
+		StoreFrac:       0.1,
+		DepGeoP:         0.3,
+		WorkingSetKB:    64,
+		CallFrac:        0.04,
+		IndirectFrac:    0.02,
+		IndirectTargets: 4,
+		Phases: []workload.Phase{{
+			Instructions: 1 << 62,
+			Mix: workload.BranchMix{
+				Biased: 0.4, Loop: 0.2, Noisy: 0.25, Random: 0.15,
+				NoisyEps: 0.12, LoopTripMin: 6, LoopTripMax: 14,
+			},
+		}},
+	}
+}
+
+func newTestCore(t *testing.T, ests []core.Estimator) (*Core, int) {
+	t.Helper()
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := c.AddThread(testSpec(77), ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tid
+}
+
+func TestRunRetiresRequestedInstructions(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(50_000, 0)
+	if got := c.ThreadStats(tid).RetiredGood; got < 50_000 {
+		t.Fatalf("retired %d < 50000", got)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() ThreadStats {
+		c, tid := newTestCore(t, nil)
+		c.Run(60_000, 0)
+		return c.ThreadStats(tid)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestEstimatorSumMatchesInflight: after any run, PaCo's encoded sum must
+// equal the total contribution of branches still in flight — and draining
+// the pipeline must return it to zero.
+func TestEstimatorSumDrains(t *testing.T) {
+	paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 10_000})
+	cnt := core.NewCountPredictor(3)
+	c, _ := newTestCore(t, []core.Estimator{paco, cnt})
+	c.Run(80_000, 0)
+	// Drain: stop fetching (quota reached) and step until the ROB empties.
+	for i := 0; i < 10_000 && c.InFlight(0) > 0; i++ {
+		c.Step()
+	}
+	if c.InFlight(0) != 0 {
+		t.Fatalf("pipeline failed to drain: %d in flight", c.InFlight(0))
+	}
+	if paco.EncodedSum() != 0 {
+		t.Fatalf("PaCo sum after drain = %d, want 0", paco.EncodedSum())
+	}
+	if cnt.Count() != 0 {
+		t.Fatalf("low-confidence count after drain = %d, want 0", cnt.Count())
+	}
+}
+
+// TestCountNeverNegative: the low-confidence branch counter can never go
+// negative under any squash/resolve interleaving.
+func TestCountNeverNegative(t *testing.T) {
+	cnt := core.NewCountPredictor(3)
+	c, _ := newTestCore(t, []core.Estimator{cnt})
+	for i := 0; i < 100_000; i++ {
+		c.Step()
+		if cnt.Count() < 0 {
+			t.Fatalf("negative low-confidence count at cycle %d", i)
+		}
+	}
+}
+
+// TestPaCoSumNeverNegative mirrors the same invariant for the encoded sum.
+func TestPaCoSumNeverNegative(t *testing.T) {
+	paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 10_000})
+	c, _ := newTestCore(t, []core.Estimator{paco})
+	for i := 0; i < 100_000; i++ {
+		c.Step()
+		if paco.EncodedSum() < 0 {
+			t.Fatalf("negative encoded sum at cycle %d", i)
+		}
+	}
+}
+
+func TestMispredictsCauseBadpathWork(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(100_000, 0)
+	st := c.ThreadStats(tid)
+	if st.CondMispredicts == 0 {
+		t.Fatal("workload produced no mispredicts")
+	}
+	if st.FetchedBad == 0 {
+		t.Fatal("mispredicts produced no badpath fetch")
+	}
+	if st.Recoveries == 0 || st.Squashed == 0 {
+		t.Fatalf("no recoveries/squashes: %+v", st)
+	}
+	if st.ExecutedBad == 0 {
+		t.Fatal("no badpath instruction ever executed")
+	}
+}
+
+func TestOracleConsistency(t *testing.T) {
+	// Instances observed on the goodpath plus badpath must cover all
+	// probe calls, and badpath instances must exist for a mispredicting
+	// workload.
+	c, _ := newTestCore(t, nil)
+	var good, bad uint64
+	c.SetProbe(func(_ int, onGood bool) {
+		if onGood {
+			good++
+		} else {
+			bad++
+		}
+	})
+	c.Run(60_000, 0)
+	if good == 0 || bad == 0 {
+		t.Fatalf("oracle never changed: good=%d bad=%d", good, bad)
+	}
+	if float64(bad)/float64(good+bad) > 0.6 {
+		t.Fatalf("badpath instances dominate (%d/%d) — recovery broken?", bad, good+bad)
+	}
+}
+
+func TestGatingReducesBadpathFetch(t *testing.T) {
+	base, baseTid := newTestCore(t, nil)
+	base.Run(80_000, 0)
+	baseStats := base.ThreadStats(baseTid)
+
+	cnt := core.NewCountPredictor(3)
+	gated, gatedTid := newTestCore(t, []core.Estimator{cnt})
+	gated.SetGate(func() bool { return cnt.Count() >= 1 })
+	gated.Run(80_000, 0)
+	st := gated.ThreadStats(gatedTid)
+	if st.GatedCycles == 0 {
+		t.Fatal("aggressive gate never gated")
+	}
+	if st.FetchedBad >= baseStats.FetchedBad {
+		t.Fatalf("gating did not reduce badpath fetch: %d vs %d", st.FetchedBad, baseStats.FetchedBad)
+	}
+	if gated.IPC(gatedTid) >= base.IPC(baseTid) {
+		t.Fatal("maximally aggressive gating should cost performance")
+	}
+}
+
+func TestBucketStatsAccumulate(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(80_000, 0)
+	st := c.ThreadStats(tid)
+	var total uint64
+	for mdc := uint32(0); mdc < 16; mdc++ {
+		_, n := st.BucketMispredictRate(mdc)
+		total += n
+	}
+	if total != st.CondRetired {
+		t.Fatalf("bucket samples %d != retired conditionals %d", total, st.CondRetired)
+	}
+	// Low buckets should mispredict more than the top bucket.
+	r0, n0 := st.BucketMispredictRate(0)
+	r15, n15 := st.BucketMispredictRate(15)
+	if n0 == 0 || n15 == 0 {
+		t.Skip("insufficient bucket occupancy at this scale")
+	}
+	if r0 <= r15 {
+		t.Fatalf("bucket 0 rate %.2f <= bucket 15 rate %.2f", r0, r15)
+	}
+}
+
+func TestSMTTwoThreads(t *testing.T) {
+	c, err := New(SMTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddThread(testSpec(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddThread(testSpec(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RunCycles(50_000)
+	a, b := c.ThreadStats(0), c.ThreadStats(1)
+	if a.RetiredGood == 0 || b.RetiredGood == 0 {
+		t.Fatalf("a thread starved: %d / %d", a.RetiredGood, b.RetiredGood)
+	}
+	if c.Threads() != 2 {
+		t.Fatal("thread count")
+	}
+}
+
+func TestSMTChooserBias(t *testing.T) {
+	c, err := New(SMTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddThread(testSpec(1), nil)
+	c.AddThread(testSpec(2), nil)
+	// Always prefer thread 0 when it can fetch.
+	c.SetChooser(func(_ uint64, fetchable []int) int { return fetchable[0] })
+	c.RunCycles(50_000)
+	if c.ThreadStats(0).RetiredGood <= c.ThreadStats(1).RetiredGood {
+		t.Fatal("biased chooser did not bias throughput")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(20_000, 0)
+	c.ResetStats()
+	if c.ThreadStats(tid).RetiredGood != 0 || c.Stats().Cycles != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+	c.Run(10_000, 0)
+	if c.ThreadStats(tid).RetiredGood < 10_000 {
+		t.Fatal("run after reset broken")
+	}
+}
+
+func TestMaxCyclesBound(t *testing.T) {
+	c, _ := newTestCore(t, nil)
+	ran := c.Run(1<<40, 500)
+	if ran > 500 {
+		t.Fatalf("Run ignored maxCycles: %d", ran)
+	}
+}
+
+func TestTooManyEstimatorsRejected(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := make([]core.Estimator, MaxEstimators+1)
+	for i := range ests {
+		ests[i] = core.NewCountPredictor(3)
+	}
+	if _, err := c.AddThread(testSpec(1), ests); err == nil {
+		t.Fatal("estimator overflow accepted")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestIPCPlausible guards the timing model's overall sanity.
+func TestIPCPlausible(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(100_000, 0)
+	ipc := c.IPC(tid)
+	if ipc < 0.2 || ipc > 4.0 {
+		t.Fatalf("IPC %.3f outside sane range", ipc)
+	}
+}
+
+func TestPerceptronStratifierRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerceptronStratifier = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 10_000})
+	tid, err := c.AddThread(testSpec(31), []core.Estimator{paco})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(60_000, 0)
+	st := c.ThreadStats(tid)
+	if st.CondRetired == 0 {
+		t.Fatal("nothing retired")
+	}
+	// Perceptron buckets must stratify: low buckets mispredict more than
+	// the top bucket when both are populated.
+	r0, n0 := st.BucketMispredictRate(0)
+	r15, n15 := st.BucketMispredictRate(15)
+	if n0 > 100 && n15 > 100 && r0 <= r15 {
+		t.Fatalf("perceptron buckets not stratifying: %.1f%% vs %.1f%%", r0, r15)
+	}
+}
+
+// TestBackPressure: a tiny ROB/scheduler must throttle fetch without
+// deadlock or lost instructions.
+func TestBackPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 16
+	cfg.SchedSize = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := c.AddThread(testSpec(55), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(20_000, 4_000_000)
+	if got := c.ThreadStats(tid).RetiredGood; got < 20_000 {
+		t.Fatalf("tiny machine deadlocked: retired %d", got)
+	}
+	if c.InFlight(tid) > 16 {
+		t.Fatalf("ROB overflow: %d in flight", c.InFlight(tid))
+	}
+}
+
+// TestLongLatencyWheel: working sets far beyond L2 force many 110-cycle
+// loads, exercising completion-wheel wraparound.
+func TestLongLatencyWheel(t *testing.T) {
+	spec := testSpec(66)
+	spec.WorkingSetKB = 8192
+	spec.RandomAddrFrac = 0.9
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := c.AddThread(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30_000, 30_000_000)
+	st := c.ThreadStats(tid)
+	if st.RetiredGood < 30_000 {
+		t.Fatalf("memory-bound run stalled: retired %d", st.RetiredGood)
+	}
+	if ipc := c.IPC(tid); ipc > 1.5 {
+		t.Fatalf("IPC %.2f too high for a cache-hostile workload", ipc)
+	}
+}
+
+// TestQuotaStopsFetch: once a thread hits its Run quota, no further
+// goodpath instructions are fetched for it.
+func TestQuotaStopsFetch(t *testing.T) {
+	c, tid := newTestCore(t, nil)
+	c.Run(10_000, 0)
+	fetched := c.ThreadStats(tid).FetchedGood
+	for i := 0; i < 1000; i++ {
+		c.Step()
+	}
+	if got := c.ThreadStats(tid).FetchedGood; got != fetched {
+		t.Fatalf("fetch continued past quota: %d -> %d", fetched, got)
+	}
+}

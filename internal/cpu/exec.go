@@ -1,0 +1,206 @@
+package cpu
+
+import (
+	"paco/internal/core"
+	"paco/internal/workload"
+)
+
+// eventFor builds the estimator-facing view of a control instruction.
+func (c *Core) eventFor(e *robEntry) core.BranchEvent {
+	return core.BranchEvent{
+		PC:          e.ins.PC,
+		History:     e.histAtPred,
+		MDC:         e.mdc,
+		Conditional: e.conditional,
+	}
+}
+
+// arrive processes this cycle's front-end arrivals: instructions fetched
+// FrontEndDepth cycles ago become eligible to issue.
+func (c *Core) arrive() {
+	bucket := c.arrival[c.cycle%wheelSize]
+	if len(bucket) == 0 {
+		return
+	}
+	c.arrival[c.cycle%wheelSize] = bucket[:0]
+	for _, r := range bucket {
+		e := c.threads[r.tid].entry(r.seq)
+		if !e.valid || e.seq != r.seq || e.issued {
+			continue // squashed in flight
+		}
+		e.eligible = true
+		if e.pendingDeps == 0 {
+			c.readyList = append(c.readyList, r)
+		}
+	}
+}
+
+// issue moves up to FUCount ready instructions from the scheduler to the
+// function units, oldest first. Memory latency is resolved here, including
+// badpath cache pollution.
+func (c *Core) issue() {
+	// Drop refs invalidated by squashes.
+	live := c.readyList[:0]
+	for _, r := range c.readyList {
+		e := c.threads[r.tid].entry(r.seq)
+		if e.valid && e.seq == r.seq && e.inSched && e.eligible && !e.issued && e.pendingDeps == 0 {
+			live = append(live, r)
+		}
+	}
+	c.readyList = live
+	for fu := 0; fu < c.cfg.FUCount && len(c.readyList) > 0; fu++ {
+		best := 0
+		for i := 1; i < len(c.readyList); i++ {
+			if older(c.readyList[i], c.readyList[best]) {
+				best = i
+			}
+		}
+		r := c.readyList[best]
+		c.readyList[best] = c.readyList[len(c.readyList)-1]
+		c.readyList = c.readyList[:len(c.readyList)-1]
+
+		t := c.threads[r.tid]
+		e := t.entry(r.seq)
+		e.issued = true
+		e.inSched = false
+		c.schedCount--
+
+		lat := e.ins.Lat
+		if lat == 0 {
+			lat = 1
+		}
+		switch e.ins.Kind {
+		case workload.KindLoad:
+			lat += c.mem.DataLatency(e.ins.Addr, e.badpath)
+		case workload.KindStore:
+			// Stores write at retire; the issue-time access models the
+			// line fill (write-allocate), including badpath pollution.
+			c.mem.DataLatency(e.ins.Addr, e.badpath)
+		}
+		if e.badpath {
+			t.stats.ExecutedBad++
+		} else {
+			t.stats.ExecutedGood++
+		}
+		c.wheel[(c.cycle+lat)%wheelSize] = append(c.wheel[(c.cycle+lat)%wheelSize], r)
+	}
+}
+
+func older(a, b ref) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.tid < b.tid
+}
+
+// complete drains this cycle's completion wheel bucket: instructions finish
+// execution, wake their dependents, and branches resolve — possibly
+// squashing younger instructions and redirecting fetch.
+func (c *Core) complete() {
+	bucket := c.wheel[c.cycle%wheelSize]
+	if len(bucket) == 0 {
+		return
+	}
+	c.wheel[c.cycle%wheelSize] = bucket[:0]
+	for _, r := range bucket {
+		t := c.threads[r.tid]
+		e := t.entry(r.seq)
+		if !e.valid || e.seq != r.seq || !e.issued || e.done {
+			continue // squashed while executing
+		}
+		e.done = true
+
+		// Wake dependents.
+		for _, ws := range e.waiters {
+			w := t.entry(ws)
+			if !w.valid || w.seq != ws || w.pendingDeps == 0 {
+				continue
+			}
+			w.pendingDeps--
+			if w.pendingDeps == 0 && w.inSched && w.eligible && !w.issued {
+				c.readyList = append(c.readyList, ref{t.id, ws})
+			}
+		}
+		e.waiters = e.waiters[:0]
+
+		if e.isControl {
+			c.resolveControl(t, e)
+		}
+		if c.probe != nil {
+			c.probe(t.id, t.onGoodpath)
+		}
+	}
+}
+
+// resolveControl handles a control instruction finishing execution: the
+// estimators see the resolve, and a mispredicted branch squashes younger
+// instructions and redirects fetch (back to the goodpath if this was the
+// divergence point).
+func (c *Core) resolveControl(t *thread, e *robEntry) {
+	for i := range t.ests {
+		t.ests[i].BranchResolved(e.contribs[i])
+	}
+	// Badpath taken control flow trains the BTB at resolve: wrong-path
+	// pollution (the perlbmk effect the paper's conservative gating
+	// removes).
+	if e.badpath && (e.ins.Kind != workload.KindBranch || e.ins.Taken) {
+		c.btb.Insert(e.ins.PC, e.ins.NextPC)
+	}
+	if !e.mispredicted {
+		return
+	}
+	t.stats.Recoveries++
+	c.squashYounger(t, e.seq)
+
+	// Repair the speculative history: everything after this branch was
+	// fetched down the wrong path.
+	t.ghr.Restore(e.ghrCheckpoint)
+	if e.conditional {
+		t.ghr.Push(e.ins.Taken)
+	}
+
+	// Redirect fetch after the misprediction penalty.
+	resume := c.cycle + c.cfg.MispredictPenalty
+	if resume > t.fetchResume {
+		t.fetchResume = resume
+	}
+	t.pending = nil
+	t.lastFetchBlock = ^uint64(0)
+
+	if !e.badpath {
+		// Divergence point: recovery returns fetch to the goodpath, which
+		// resumes exactly where the walker stopped.
+		t.onGoodpath = true
+	} else {
+		// A badpath branch "resolved": fetch continues down the badpath
+		// at that branch's actual target.
+		t.wrong.Redirect(e.ins.NextPC)
+	}
+}
+
+// squashYounger removes every instruction younger than seq from the
+// machine, notifying estimators of squashed control instructions.
+func (c *Core) squashYounger(t *thread, seq uint64) {
+	for s := t.tail; s > seq+1; s-- {
+		e := t.entry(s - 1)
+		if !e.valid || e.seq != s-1 {
+			continue
+		}
+		// Entries that already resolved (done) have had their
+		// contribution removed at resolve; squashing them again would
+		// double-subtract from the path confidence sums.
+		if e.isControl && !e.done {
+			for i := range t.ests {
+				t.ests[i].BranchSquashed(e.contribs[i])
+			}
+		}
+		if e.inSched && !e.issued {
+			c.schedCount--
+		}
+		e.valid = false
+		e.inSched = false
+		c.robCount--
+		t.stats.Squashed++
+	}
+	t.tail = seq + 1
+}

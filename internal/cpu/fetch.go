@@ -1,0 +1,226 @@
+package cpu
+
+import "paco/internal/workload"
+
+// fetch runs the front end for one cycle: pick a thread (SMT policy),
+// apply gating, and fetch up to FetchWidth instructions, ending the group
+// at taken control flow, I-cache misses, or back-pressure from the ROB or
+// scheduler.
+func (c *Core) fetch() {
+	var fetchable []int
+	for _, t := range c.threads {
+		if c.cycle >= t.fetchResume && t.stats.RetiredGood < t.quota {
+			fetchable = append(fetchable, t.id)
+		}
+	}
+	if len(fetchable) == 0 {
+		return
+	}
+	var tid int
+	if c.choose != nil {
+		tid = c.choose(c.cycle, fetchable)
+	} else {
+		tid = fetchable[int(c.cycle)%len(fetchable)]
+	}
+	t := c.threads[tid]
+	if c.cycle < t.fetchResume {
+		return // policy picked a stalled thread; bandwidth is wasted
+	}
+	if c.gate != nil && c.gate() {
+		t.stats.GatedCycles++
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.robCount >= c.cfg.ROBSize || c.schedCount >= c.cfg.SchedSize {
+			break
+		}
+		ins, ok := c.nextInstruction(t)
+		if !ok {
+			break // I-cache miss: group ends, resume later
+		}
+		redirected := c.dispatch(t, ins)
+		if redirected {
+			break // taken control flow ends the fetch group
+		}
+	}
+}
+
+// nextInstruction produces the next instruction of the thread's current
+// path, honouring a pending I-cache-stalled instruction, and models the
+// I-cache: crossing into a new block pays the fetch latency.
+func (c *Core) nextInstruction(t *thread) (workload.Instruction, bool) {
+	var ins workload.Instruction
+	if t.pending != nil {
+		ins = *t.pending
+		t.pending = nil
+		return ins, true
+	}
+	badpath := !t.onGoodpath
+	if badpath {
+		ins = t.wrong.Next()
+	} else {
+		ins = t.walker.Next()
+	}
+	const blockShift = 7 // 128-byte I-cache lines (Table 6)
+	blk := ins.PC >> blockShift
+	if blk != t.lastFetchBlock {
+		t.lastFetchBlock = blk
+		if lat := c.mem.FetchLatency(ins.PC, badpath); lat > 0 {
+			t.pending = &ins
+			t.pendingBadpath = badpath
+			t.fetchResume = c.cycle + lat
+			return workload.Instruction{}, false
+		}
+	}
+	return ins, true
+}
+
+// dispatch renames the instruction into the ROB and scheduler, performs
+// branch prediction and confidence lookups, and switches the thread onto
+// the wrong path when a goodpath branch mispredicts. It reports whether
+// fetch was redirected (ending the fetch group).
+func (c *Core) dispatch(t *thread, ins workload.Instruction) bool {
+	seq := t.tail
+	t.tail++
+	c.robCount++
+	e := t.entry(seq)
+	*e = robEntry{
+		valid:   true,
+		seq:     seq,
+		ins:     ins,
+		badpath: !t.onGoodpath,
+		waiters: e.waiters[:0],
+	}
+	if e.badpath {
+		t.stats.FetchedBad++
+	} else {
+		t.stats.FetchedGood++
+	}
+
+	redirected := false
+	if ins.Kind.IsControl() {
+		redirected = c.predictControl(t, e)
+	}
+
+	// Rename: resolve dependence distances to producer seqs. The
+	// instruction traverses the front end for FrontEndDepth cycles before
+	// it becomes eligible to issue.
+	c.trackDep(t, e, ins.Dep1)
+	c.trackDep(t, e, ins.Dep2)
+	e.inSched = true
+	c.schedCount++
+	slot := (c.cycle + c.cfg.FrontEndDepth) % wheelSize
+	c.arrival[slot] = append(c.arrival[slot], ref{t.id, seq})
+
+	if c.probe != nil {
+		c.probe(t.id, t.onGoodpath)
+	}
+	return redirected
+}
+
+func (c *Core) trackDep(t *thread, e *robEntry, dist int) {
+	if dist <= 0 {
+		return
+	}
+	if uint64(dist) > e.seq {
+		return // reaches before the start of the program
+	}
+	depSeq := e.seq - uint64(dist)
+	if depSeq < t.head {
+		return // producer already retired (or squashed)
+	}
+	p := t.entry(depSeq)
+	if !p.valid || p.seq != depSeq || p.done {
+		return
+	}
+	p.waiters = append(p.waiters, e.seq)
+	e.pendingDeps++
+}
+
+// predictControl performs direction/target prediction for a control
+// instruction, reads the JRS confidence table, notifies the estimators, and
+// handles fetch redirection including the goodpath->badpath transition.
+// It reports whether fetch was redirected this cycle.
+func (c *Core) predictControl(t *thread, e *robEntry) bool {
+	ins := &e.ins
+	e.isControl = true
+	e.histAtPred = t.ghr.Value()
+	e.ghrCheckpoint = t.ghr.Checkpoint()
+
+	var predTarget uint64
+	var predTaken bool
+	switch ins.Kind {
+	case workload.KindBranch:
+		// Direct conditional branch: the decoder computes the taken
+		// target within the fetch group, so only the *direction* can
+		// mispredict.
+		e.conditional = true
+		predTaken = c.pred.Predict(ins.PC, e.histAtPred)
+		e.predTaken = predTaken
+		if c.perceptron != nil {
+			e.mdc = c.perceptron.Confidence(ins.PC, e.histAtPred)
+		} else {
+			e.mdc = c.jrs.MDC(ins.PC, e.histAtPred, predTaken)
+		}
+		t.ghr.Push(predTaken)
+		if e.badpath {
+			// Badpath branch outcomes are decided against the live
+			// prediction so wrong-path code behaves like code.
+			t.wrong.ResolveBranch(ins, predTaken)
+		}
+		e.mispredicted = predTaken != ins.Taken
+	case workload.KindJump, workload.KindCall:
+		// Direct targets are computed at decode: never mispredicted.
+		predTaken = true
+		predTarget = ins.NextPC
+		if ins.Kind == workload.KindCall {
+			t.ras.Push(ins.PC + 4)
+		}
+	case workload.KindReturn:
+		predTaken = true
+		predTarget = t.ras.Pop()
+		e.mispredicted = predTarget != ins.NextPC
+	case workload.KindIndirect:
+		predTaken = true
+		if tgt, ok := c.btb.Lookup(ins.PC); ok {
+			predTarget = tgt
+		} else {
+			predTarget = ins.PC + 4 // no prediction: certainly wrong
+		}
+		e.mispredicted = predTarget != ins.NextPC
+	}
+
+	// Path confidence estimators see every control instruction; only
+	// conditional branches carry an MDC (JRS covers only those).
+	ev := c.eventFor(e)
+	for i, est := range t.ests {
+		e.contribs[i] = est.BranchFetched(ev)
+	}
+
+	// Fetch redirection. On a misprediction the front end follows the
+	// (wrong) predicted path: if this was a goodpath branch, the machine
+	// diverges here and discovers it at execute; on the badpath, fetch
+	// simply continues down another wrong path.
+	if e.mispredicted {
+		t.onGoodpath = false
+		wrongPC := predTarget
+		if ins.Kind == workload.KindBranch {
+			wrongPC = ins.AltPC
+		}
+		t.wrong.Redirect(wrongPC)
+		t.lastFetchBlock = ^uint64(0)
+		return true
+	}
+	// Correctly predicted: fetch follows the actual path (the walker or
+	// wrong-path generator already advanced there). Taken control flow
+	// ends the fetch group.
+	taken := true
+	if ins.Kind == workload.KindBranch {
+		taken = ins.Taken
+	}
+	if taken {
+		t.lastFetchBlock = ^uint64(0)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package cpu
+
+import (
+	"paco/internal/confidence"
+	"paco/internal/workload"
+)
+
+// retire commits up to RetireWidth finished instructions in program order,
+// rotating fairly among threads. Only goodpath instructions ever retire
+// (badpath instructions are squashed before reaching the ROB head); retire
+// is where predictor training happens.
+func (c *Core) retire() {
+	budget := c.cfg.RetireWidth
+	n := len(c.threads)
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(int(c.cycle)+i)%n]
+		for budget > 0 && t.head < t.tail {
+			e := t.entry(t.head)
+			if !e.valid || e.seq != t.head || !e.done {
+				break
+			}
+			c.commit(t, e)
+			e.valid = false
+			t.head++
+			c.robCount--
+			budget--
+		}
+	}
+}
+
+// commit applies one retiring instruction's training and statistics.
+func (c *Core) commit(t *thread, e *robEntry) {
+	if e.badpath {
+		panic("cpu: badpath instruction reached retirement")
+	}
+	st := &t.stats
+	st.RetiredGood++
+	if e.isControl {
+		st.CtrlRetired++
+		correct := !e.mispredicted
+		if !correct {
+			st.CtrlMispredicts++
+		}
+		if e.conditional {
+			if c.probeRetire != nil {
+				c.probeRetire(e.ins.StaticID, correct)
+			}
+			st.CondRetired++
+			if !correct {
+				st.CondMispredicts++
+			}
+			if e.mdc < confidence.NumBuckets {
+				if correct {
+					st.BucketCorrect[e.mdc]++
+				} else {
+					st.BucketMispred[e.mdc]++
+				}
+			}
+			// Train the direction predictor, the JRS confidence table and
+			// the path confidence estimators on goodpath outcomes.
+			c.pred.Update(e.ins.PC, e.histAtPred, e.ins.Taken)
+			c.jrs.Update(e.ins.PC, e.histAtPred, e.predTaken, correct)
+			if c.perceptron != nil {
+				c.perceptron.Update(e.ins.PC, e.histAtPred, correct)
+			}
+		}
+		ev := c.eventFor(e)
+		for i := range t.ests {
+			t.ests[i].BranchRetired(ev, correct)
+		}
+		// Train the BTB with goodpath targets (indirect control flow and
+		// taken branches).
+		switch e.ins.Kind {
+		case workload.KindIndirect:
+			c.btb.Insert(e.ins.PC, e.ins.NextPC)
+		case workload.KindBranch:
+			if e.ins.Taken {
+				c.btb.Insert(e.ins.PC, e.ins.NextPC)
+			}
+		}
+	}
+}

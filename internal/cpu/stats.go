@@ -1,0 +1,90 @@
+package cpu
+
+import "paco/internal/confidence"
+
+// ThreadStats accumulates per-thread counters over a simulation.
+type ThreadStats struct {
+	// RetiredGood is the number of retired (necessarily goodpath)
+	// instructions.
+	RetiredGood uint64
+	// FetchedGood and FetchedBad count dispatched instructions by path.
+	FetchedGood, FetchedBad uint64
+	// ExecutedGood and ExecutedBad count instructions issued to function
+	// units by path ("badpath instructions executed" is the paper's
+	// pipeline-gating metric).
+	ExecutedGood, ExecutedBad uint64
+	// Squashed counts instructions removed by mispredict recovery.
+	Squashed uint64
+	// Recoveries counts mispredict-triggered squashes.
+	Recoveries uint64
+	// GatedCycles counts cycles fetch was suppressed by pipeline gating.
+	GatedCycles uint64
+
+	// CtrlRetired/CtrlMispredicts cover all retired control-flow
+	// instructions; CondRetired/CondMispredicts only conditional
+	// branches (the paper's Table 7 reports both rates).
+	CtrlRetired, CtrlMispredicts uint64
+	CondRetired, CondMispredicts uint64
+
+	// BucketCorrect/BucketMispred stratify retired conditional branches
+	// by their MDC value at prediction (the paper's Figure 2).
+	BucketCorrect [confidence.NumBuckets]uint64
+	BucketMispred [confidence.NumBuckets]uint64
+}
+
+// CondMispredictRate returns the conditional branch mispredict rate in
+// percent.
+func (s *ThreadStats) CondMispredictRate() float64 {
+	if s.CondRetired == 0 {
+		return 0
+	}
+	return 100 * float64(s.CondMispredicts) / float64(s.CondRetired)
+}
+
+// CtrlMispredictRate returns the all-control-flow mispredict rate in
+// percent (the paper's "overall mispredict rate").
+func (s *ThreadStats) CtrlMispredictRate() float64 {
+	if s.CtrlRetired == 0 {
+		return 0
+	}
+	return 100 * float64(s.CtrlMispredicts) / float64(s.CtrlRetired)
+}
+
+// BucketMispredictRate returns the mispredict rate (percent) of one MDC
+// bucket, and the number of observations.
+func (s *ThreadStats) BucketMispredictRate(mdc uint32) (rate float64, samples uint64) {
+	c, m := s.BucketCorrect[mdc], s.BucketMispred[mdc]
+	if c+m == 0 {
+		return 0, 0
+	}
+	return 100 * float64(m) / float64(c+m), c + m
+}
+
+// Stats accumulates whole-core counters.
+type Stats struct {
+	// Cycles is the number of simulated cycles.
+	Cycles uint64
+}
+
+// Stats returns the core-level counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes all statistics counters (core, threads, caches, BTB)
+// without touching microarchitectural state — used to discard warmup.
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	for _, t := range c.threads {
+		t.stats = ThreadStats{}
+	}
+}
+
+// ThreadStats returns a snapshot of one thread's counters.
+func (c *Core) ThreadStats(tid int) ThreadStats { return c.threads[tid].stats }
+
+// IPC returns a thread's retired instructions per cycle.
+func (c *Core) IPC(tid int) float64 {
+	if c.stats.Cycles == 0 {
+		return 0
+	}
+	return float64(c.threads[tid].stats.RetiredGood) / float64(c.stats.Cycles)
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paco/internal/bitutil"
+	"paco/internal/core"
+	"paco/internal/gating"
+	"paco/internal/metrics"
+)
+
+func init() {
+	register("ablate-refresh", AblateRefreshReport)
+	register("ablate-stratifier", AblateStratifierReport)
+	register("ablate-throttle", AblateThrottleReport)
+}
+
+// AblateRefresh measures PaCo's accuracy sensitivity to the MRT
+// logarithmization period (paper footnote 5: "PaCo's performance is not
+// very sensitive to this period"). One row per period, RMS averaged over
+// a benchmark subset.
+func AblateRefresh(cfg Config, periods []uint64, benchmarks []string) (*metrics.Table, error) {
+	if periods == nil {
+		periods = []uint64{25_000, 50_000, 100_000, 200_000, 400_000, 800_000}
+	}
+	if benchmarks == nil {
+		benchmarks = []string{"gzip", "parser", "twolf", "gcc"}
+	}
+	t := metrics.NewTable("refresh period (cycles)", "mean RMS error")
+	for _, period := range periods {
+		sub := cfg
+		sub.RefreshPeriod = period
+		t7, err := RunTable7(sub, benchmarks)
+		if err != nil {
+			return nil, err
+		}
+		t.Row(period, t7.MeanRMS)
+	}
+	return t, nil
+}
+
+// AblateRefreshReport writes the refresh-period sensitivity table.
+func AblateRefreshReport(cfg Config, w io.Writer) error {
+	t, err := AblateRefresh(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: MRT refresh-period sensitivity")
+	fmt.Fprintln(w, "(paper footnote 5: accuracy should be largely insensitive to the period)")
+	fmt.Fprintln(w)
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// oracleStratifier is a PaCo whose per-branch correct-prediction
+// probability comes from an oracle that knows each bucket's long-run rate
+// exactly (measured in a profiling pass and frozen) — it bounds what the
+// 16-bucket stratification could achieve with a perfect, noiseless MRT.
+// Reuses the StaticMRT machinery with an exact profile.
+
+// AblateStratifier compares dynamic PaCo against the oracle-profiled
+// static table on each benchmark: the gap is MRT measurement noise; the
+// residual oracle error is the stratification limit itself.
+func AblateStratifier(cfg Config, benchmarks []string) (*metrics.Table, error) {
+	if benchmarks == nil {
+		benchmarks = []string{"gzip", "parser", "twolf", "vortex"}
+	}
+	t := metrics.NewTable("Benchmark", "dynamic MRT RMS", "oracle-profile RMS")
+	for _, name := range benchmarks {
+		prof, err := runOne(cfg, name, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		profile := profileFromStats(prof)
+
+		dyn := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+		oracle := core.NewStaticMRT(&profile)
+		rels := [2]*metrics.Reliability{{}, {}}
+		ests := []core.Probabilistic{dyn, oracle}
+		if _, err := runOne(cfg, name, []core.Estimator{dyn, oracle}, nil,
+			func(_ int, onGood bool) {
+				for i, e := range ests {
+					rels[i].Add(e.GoodpathProb(), onGood)
+				}
+			}); err != nil {
+			return nil, err
+		}
+		t.Row(name, rels[0].RMSError(), rels[1].RMSError())
+	}
+	return t, nil
+}
+
+// AblateStratifierReport writes the stratification-limit table.
+func AblateStratifierReport(cfg Config, w io.Writer) error {
+	t, err := AblateStratifier(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: dynamic MRT vs oracle same-run profile")
+	fmt.Fprintln(w, "(the oracle column bounds what 16-bucket stratification can achieve;")
+	fmt.Fprintln(w, " the gap to the dynamic column is MRT sampling/refresh noise)")
+	fmt.Fprintln(w)
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// throttleGate implements selective throttling (Aragón et al., discussed
+// in the paper's Related Work): instead of all-or-nothing gating, fetch
+// bandwidth degrades gradually as PaCo's goodpath probability falls.
+// It gates a *fraction* of cycles proportional to how far confidence has
+// dropped, using the encoded sum against two thresholds.
+type throttleGate struct {
+	paco *core.PaCo
+	hi   int64 // above this sum: start throttling
+	lo   int64 // above this sum: fully gated
+	tick uint64
+}
+
+func newThrottleGate(hiProb, loProb float64, refresh uint64) *throttleGate {
+	return &throttleGate{
+		paco: core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh}),
+		hi:   bitutil.EncodeProbThreshold(hiProb),
+		lo:   bitutil.EncodeProbThreshold(loProb),
+	}
+}
+
+func (g *throttleGate) Name() string              { return "PaCo-throttle" }
+func (g *throttleGate) Estimator() core.Estimator { return g.paco }
+
+// ShouldGate gates a duty-cycle fraction of cycles that rises linearly
+// from 0 (sum <= hi) to 1 (sum >= lo).
+func (g *throttleGate) ShouldGate() bool {
+	sum := g.paco.EncodedSum()
+	if sum <= g.hi {
+		return false
+	}
+	if sum >= g.lo {
+		return true
+	}
+	g.tick++
+	span := g.lo - g.hi
+	frac := sum - g.hi
+	// Gate frac/span of cycles, spread evenly.
+	return int64(g.tick%8)*span < frac*8
+}
+
+var _ gating.Gate = (*throttleGate)(nil)
+
+// AblateThrottle compares all-or-nothing PaCo gating against selective
+// throttling at matched aggressiveness.
+func AblateThrottle(cfg Config, benchmarks []string) (*metrics.Table, error) {
+	if benchmarks == nil {
+		benchmarks = []string{"gzip", "bzip2", "twolf", "parser"}
+	}
+	t := metrics.NewTable("scheme", "perf loss %", "badpath exec reduction %", "gated cycles %")
+	schemes := []struct {
+		name string
+		mk   func() gating.Gate
+	}{
+		{"PaCo-gate-20%", func() gating.Gate { return gating.NewProbGate(0.20, cfg.RefreshPeriod) }},
+		{"PaCo-gate-50%", func() gating.Gate { return gating.NewProbGate(0.50, cfg.RefreshPeriod) }},
+		{"PaCo-throttle-50..10%", func() gating.Gate { return newThrottleGate(0.50, 0.10, cfg.RefreshPeriod) }},
+	}
+	// Baselines per benchmark.
+	type base struct{ ipc, execBad float64 }
+	bases := map[string]base{}
+	for _, name := range benchmarks {
+		r, err := runOne(cfg, name, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st := r.stats()
+		bases[name] = base{ipc: r.ipc(), execBad: float64(st.ExecutedBad)}
+	}
+	for _, sc := range schemes {
+		var loss, red, gated float64
+		for _, name := range benchmarks {
+			g := sc.mk()
+			r, err := runOne(cfg, name, []core.Estimator{g.Estimator()}, g.ShouldGate, nil)
+			if err != nil {
+				return nil, err
+			}
+			st := r.stats()
+			b := bases[name]
+			loss += 100 * (b.ipc - r.ipc()) / b.ipc
+			red += reduction(b.execBad, float64(st.ExecutedBad))
+			gated += 100 * float64(st.GatedCycles) / float64(r.Core.Stats().Cycles)
+		}
+		n := float64(len(benchmarks))
+		t.Row(sc.name, fmt.Sprintf("%+.2f", loss/n), fmt.Sprintf("%.1f", red/n), fmt.Sprintf("%.1f", gated/n))
+	}
+	return t, nil
+}
+
+// AblateThrottleReport writes the selective-throttling comparison.
+func AblateThrottleReport(cfg Config, w io.Writer) error {
+	t, err := AblateThrottle(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: all-or-nothing gating vs selective throttling (Aragón-style)")
+	fmt.Fprintln(w, "(the paper argues PaCo's fine-grained estimate should suit gradual throttling)")
+	fmt.Fprintln(w)
+	_, err = io.WriteString(w, t.String())
+	return err
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"paco/internal/smt"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablate-perceptron", "ablate-refresh", "ablate-stratifier",
+		"ablate-throttle", "fig10", "fig12", "fig2", "fig3a", "fig3b", "fig8",
+		"fig9", "table7", "tableA1"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", Quick(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	cfg := Quick()
+	f, err := RunFigure2(cfg, []string{"gzip", "twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 must mispredict more than bucket 15 on both.
+	for _, b := range f.Benchmarks {
+		if f.Samples[b][0] == 0 || f.Samples[b][15] == 0 {
+			t.Fatalf("%s: empty extreme buckets", b)
+		}
+		if f.Rate[b][0] <= f.Rate[b][15] {
+			t.Fatalf("%s: bucket rates not declining: %.1f vs %.1f", b, f.Rate[b][0], f.Rate[b][15])
+		}
+	}
+	// twolf (hard) should have a higher bucket-0 rate than gzip (easy).
+	if f.Rate["twolf"][0] <= f.Rate["gzip"][0] {
+		t.Fatalf("twolf bucket0 %.1f <= gzip bucket0 %.1f", f.Rate["twolf"][0], f.Rate["gzip"][0])
+	}
+	if !strings.Contains(f.Table().String(), "MDC") {
+		t.Fatal("table rendering")
+	}
+}
+
+func TestFigure3a(t *testing.T) {
+	cfg := Quick()
+	rows, err := RunFigure3a(cfg, DefaultCounterProbe(), []string{"gzip", "twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Figure3Row{}
+	for _, r := range rows {
+		if r.Instances == 0 {
+			t.Fatalf("%s: no instances at counter==5", r.Label)
+		}
+		byName[r.Label] = r
+	}
+	// The paper's point: the same counter value means a much higher
+	// goodpath probability for an easy benchmark than a hard one.
+	if byName["gzip"].Goodpath <= byName["twolf"].Goodpath {
+		t.Fatalf("gzip %.1f%% <= twolf %.1f%% at counter 5",
+			byName["gzip"].Goodpath, byName["twolf"].Goodpath)
+	}
+}
+
+func TestFigure3b(t *testing.T) {
+	cfg := Quick()
+	cfg.Instructions = 1_200_000 // must cover both mcf phases (500k each)
+	rows, err := RunFigure3b(cfg, DefaultCounterProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var mcf1, mcf2 Figure3Row
+	for _, r := range rows {
+		switch r.Label {
+		case "mcf_phase1":
+			mcf1 = r
+		case "mcf_phase2":
+			mcf2 = r
+		}
+	}
+	if mcf1.Instances == 0 || mcf2.Instances == 0 {
+		t.Fatal("phase sampling produced no instances")
+	}
+	// Phase 2 is tuned much harder than phase 1: goodpath probability at
+	// the same counter value must differ between phases.
+	if diff := mcf1.Goodpath - mcf2.Goodpath; diff < 1 {
+		t.Fatalf("phases indistinguishable: %.1f vs %.1f", mcf1.Goodpath, mcf2.Goodpath)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	cfg := Quick()
+	t7, err := RunTable7(cfg, []string{"gzip", "vortex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 2 {
+		t.Fatal("row count")
+	}
+	for _, r := range t7.Rows {
+		if r.RMS <= 0 || r.RMS > 0.5 {
+			t.Fatalf("%s RMS %.4f implausible", r.Benchmark, r.RMS)
+		}
+		if r.Reliability.Instances() == 0 {
+			t.Fatalf("%s: no instances", r.Benchmark)
+		}
+	}
+	if t7.Cumulative.Instances() == 0 {
+		t.Fatal("cumulative diagram empty")
+	}
+	if _, ok := t7.Row("gzip"); !ok {
+		t.Fatal("row lookup")
+	}
+	if _, ok := t7.Row("nope"); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	cfg := Quick()
+	f, err := RunFigure10(cfg, []string{"gzip", "twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series["PaCo"]) != len(cfg.ProbTargets) {
+		t.Fatalf("PaCo series has %d points", len(f.Series["PaCo"]))
+	}
+	for _, thr := range cfg.GateThresholds {
+		name := "JRS-thr" + strconv.Itoa(int(thr))
+		if len(f.Series[name]) != len(cfg.GateCounts) {
+			t.Fatalf("%s series has %d points", name, len(f.Series[name]))
+		}
+		// More aggressive gating (later points) must not reduce badpath
+		// executed less than doing nothing at all, and must gate cycles.
+		last := f.Series[name][len(f.Series[name])-1]
+		if last.GatedCycleFrac == 0 {
+			t.Fatalf("%s most aggressive point never gated", name)
+		}
+	}
+	if !strings.Contains(f.Table().String(), "PaCo") {
+		t.Fatal("table rendering")
+	}
+	if _, ok := f.Best("PaCo", 100); !ok {
+		t.Fatal("Best found nothing under a permissive loss bound")
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	cfg := Quick()
+	pairs := []smt.Pair{{A: "gzip", B: "twolf"}, {A: "vortex", B: "bzip2"}}
+	f, err := RunFigure12(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Policies) != 6 {
+		t.Fatalf("policies = %v", f.Policies)
+	}
+	for _, p := range pairs {
+		for _, pol := range f.Policies {
+			h := f.HMWIPC[p.String()][pol]
+			if h <= 0 || h > 1.5 {
+				t.Fatalf("%s/%s HMWIPC %.3f implausible", p, pol, h)
+			}
+		}
+	}
+	if f.Mean["PaCo"] <= 0 {
+		t.Fatal("mean missing")
+	}
+	if wins := f.PaCoWins(); wins < 0 || wins > len(pairs) {
+		t.Fatalf("wins = %d", wins)
+	}
+}
+
+func TestTableA1(t *testing.T) {
+	cfg := Quick()
+	a, err := RunTableA1(cfg, []string{"gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Rows[0]
+	if r.DynamicMRT <= 0 || r.StaticMRT <= 0 || r.PerBranchMRT <= 0 {
+		t.Fatalf("zero RMS in %+v", r)
+	}
+	if !strings.Contains(a.Table().String(), "Static MRT") {
+		t.Fatal("table rendering")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := Quick()
+	tbl, err := AblateRefresh(cfg, []uint64{20_000, 80_000}, []string{"gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "20000") {
+		t.Fatal("refresh ablation rendering")
+	}
+	tbl, err = AblateStratifier(cfg, []string{"gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(tbl.String()), "\n")) < 3 {
+		t.Fatal("stratifier ablation rendering")
+	}
+	tbl, err = AblateThrottle(cfg, []string{"gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "throttle") {
+		t.Fatal("throttle ablation rendering")
+	}
+}
+
+// TestReportsRender drives every registered report at tiny scale through
+// the io.Writer interface.
+func TestReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment")
+	}
+	cfg := Quick()
+	cfg.Instructions = 60_000
+	cfg.Warmup = 25_000
+	cfg.GatingInstructions = 30_000
+	cfg.GatingWarmup = 10_000
+	cfg.SMTWarmupCycles = 5_000
+	cfg.SMTMeasureCycles = 15_000
+	cfg.GateThresholds = []uint32{3}
+	cfg.GateCounts = []int{2}
+	cfg.ProbTargets = []float64{0.2}
+	for _, name := range Names() {
+		if name == "fig3b" {
+			continue // needs full phase coverage; tested directly above
+		}
+		var buf bytes.Buffer
+		if err := Run(name, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paco/internal/core"
+	"paco/internal/gating"
+	"paco/internal/metrics"
+	"paco/internal/workload"
+)
+
+func init() { register("fig10", Figure10Report) }
+
+// GatingPoint is one configuration's outcome averaged over benchmarks: the
+// axes of the paper's Figure 10.
+type GatingPoint struct {
+	Config string
+	// PerfLoss is the IPC loss versus no gating, in percent (negative
+	// means gating *improved* performance — the pollution effect).
+	PerfLoss float64
+	// BadpathReduction is the reduction in badpath instructions executed,
+	// in percent.
+	BadpathReduction float64
+	// FetchedBadReduction is the reduction in badpath instructions
+	// fetched, in percent (the paper notes ~70% for PaCo at its headline
+	// point).
+	FetchedBadReduction float64
+	// GatedCycleFrac is the fraction of cycles fetch was gated.
+	GatedCycleFrac float64
+}
+
+// Figure10 holds one sweep series per predictor family.
+type Figure10 struct {
+	// Series maps "PaCo" and "JRS-thrN" to their sweep points, ordered
+	// from least to most aggressive gating.
+	Series map[string][]GatingPoint
+	Order  []string
+}
+
+type gatingBaseline struct {
+	ipc        float64
+	execBad    float64
+	fetchedBad float64
+}
+
+// RunFigure10 sweeps pipeline-gating configurations for the conventional
+// predictors (each JRS threshold x each gate-count) and for PaCo (each
+// target probability), averaging per-benchmark performance loss and
+// badpath reduction against an ungated baseline.
+func RunFigure10(cfg Config, benchmarks []string) (*Figure10, error) {
+	if benchmarks == nil {
+		benchmarks = allBenchmarks()
+	}
+	specs := make([]*workload.Spec, len(benchmarks))
+	for i, n := range benchmarks {
+		s, err := workload.NewBenchmark(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+
+	// Ungated baselines.
+	base := make([]gatingBaseline, len(specs))
+	for i, spec := range specs {
+		r, err := runSpec(cfg, spec, cfg.GatingInstructions, cfg.GatingWarmup, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st := r.stats()
+		base[i] = gatingBaseline{
+			ipc:        r.ipc(),
+			execBad:    float64(st.ExecutedBad),
+			fetchedBad: float64(st.FetchedBad),
+		}
+	}
+
+	out := &Figure10{Series: map[string][]GatingPoint{}}
+	sweep := func(label string, mk func() gating.Gate) error {
+		pt := GatingPoint{Config: label}
+		var n float64
+		for i, spec := range specs {
+			g := mk()
+			r, err := runSpec(cfg, spec, cfg.GatingInstructions, cfg.GatingWarmup,
+				[]core.Estimator{g.Estimator()}, g.ShouldGate, nil)
+			if err != nil {
+				return err
+			}
+			st := r.stats()
+			b := base[i]
+			pt.PerfLoss += 100 * (b.ipc - r.ipc()) / b.ipc
+			pt.BadpathReduction += reduction(b.execBad, float64(st.ExecutedBad))
+			pt.FetchedBadReduction += reduction(b.fetchedBad, float64(st.FetchedBad))
+			pt.GatedCycleFrac += float64(st.GatedCycles) / float64(r.Core.Stats().Cycles)
+			n++
+		}
+		pt.PerfLoss /= n
+		pt.BadpathReduction /= n
+		pt.FetchedBadReduction /= n
+		pt.GatedCycleFrac /= n
+		series := seriesOf(label)
+		out.Series[series] = append(out.Series[series], pt)
+		return nil
+	}
+
+	for _, thr := range cfg.GateThresholds {
+		name := fmt.Sprintf("JRS-thr%d", thr)
+		out.Order = append(out.Order, name)
+		// Sweep from conservative (high gate-count) to aggressive.
+		for i := len(cfg.GateCounts) - 1; i >= 0; i-- {
+			gc := cfg.GateCounts[i]
+			thr, gc := thr, gc
+			if err := sweep(fmt.Sprintf("JRS-thr%d-gate%d", thr, gc), func() gating.Gate {
+				return gating.NewCountGate(thr, gc)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.Order = append(out.Order, "PaCo")
+	for _, p := range cfg.ProbTargets {
+		p := p
+		if err := sweep(fmt.Sprintf("PaCo-%02.0f%%", p*100), func() gating.Gate {
+			return gating.NewProbGate(p, cfg.RefreshPeriod)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func seriesOf(label string) string {
+	if len(label) >= 4 && label[:4] == "PaCo" {
+		return "PaCo"
+	}
+	// JRS-thrN-gateM -> JRS-thrN
+	for i := 4; i < len(label); i++ {
+		if label[i] == '-' {
+			return label[:i]
+		}
+	}
+	return label
+}
+
+func reduction(before, after float64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return 100 * (before - after) / before
+}
+
+// Table renders the sweep, one row per configuration.
+func (f *Figure10) Table() *metrics.Table {
+	t := metrics.NewTable("config", "perf loss %", "badpath exec reduction %", "badpath fetch reduction %", "gated cycles %")
+	for _, series := range f.Order {
+		for _, p := range f.Series[series] {
+			t.Row(p.Config,
+				fmt.Sprintf("%+.2f", p.PerfLoss),
+				fmt.Sprintf("%.1f", p.BadpathReduction),
+				fmt.Sprintf("%.1f", p.FetchedBadReduction),
+				fmt.Sprintf("%.1f", 100*p.GatedCycleFrac))
+		}
+	}
+	return t
+}
+
+// Best returns the most aggressive point of a series whose performance
+// loss stays at or below maxLoss percent.
+func (f *Figure10) Best(series string, maxLoss float64) (GatingPoint, bool) {
+	var best GatingPoint
+	found := false
+	for _, p := range f.Series[series] {
+		if p.PerfLoss <= maxLoss && (!found || p.BadpathReduction > best.BadpathReduction) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Figure10Report writes the sweep table and the headline comparison.
+func Figure10Report(cfg Config, w io.Writer) error {
+	f, err := RunFigure10(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 10: pipeline gating — performance loss vs badpath-executed reduction")
+	fmt.Fprintln(w, "(paper: PaCo reduces badpath instructions executed ~32% at ~0% perf loss;")
+	fmt.Fprintln(w, " best counter predictor ~7% at ~0.1-0.2% loss; conservative PaCo gating can")
+	fmt.Fprintln(w, " slightly *improve* performance by removing cache/BTB pollution)")
+	fmt.Fprintln(w)
+	if _, err := io.WriteString(w, f.Table().String()); err != nil {
+		return err
+	}
+	if p, ok := f.Best("PaCo", 0.1); ok {
+		fmt.Fprintf(w, "\nheadline PaCo point (<=0.1%% loss): %s -> badpath exec -%.1f%%, fetch -%.1f%%\n",
+			p.Config, p.BadpathReduction, p.FetchedBadReduction)
+	}
+	if p, ok := f.Best("JRS-thr3", 0.3); ok {
+		fmt.Fprintf(w, "headline JRS-thr3 point (<=0.3%% loss): %s -> badpath exec -%.1f%%\n",
+			p.Config, p.BadpathReduction)
+	}
+	return nil
+}

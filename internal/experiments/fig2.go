@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paco/internal/confidence"
+	"paco/internal/metrics"
+)
+
+func init() { register("fig2", Figure2Report) }
+
+// Figure2 measures, for each benchmark, the mispredict rate of retired
+// conditional branches stratified by their MDC value at prediction time —
+// the paper's Figure 2, which motivates PaCo: buckets below any threshold
+// have very different mispredict rates, and "high-confidence" buckets still
+// mispredict.
+type Figure2 struct {
+	Benchmarks []string
+	// Rate[b][mdc] is the bucket mispredict rate in percent; Samples is
+	// the bucket occupancy.
+	Rate    map[string][confidence.NumBuckets]float64
+	Samples map[string][confidence.NumBuckets]uint64
+}
+
+// RunFigure2 executes the experiment over the given benchmarks (nil = the
+// paper's full set).
+func RunFigure2(cfg Config, benchmarks []string) (*Figure2, error) {
+	if benchmarks == nil {
+		benchmarks = allBenchmarks()
+	}
+	out := &Figure2{
+		Benchmarks: benchmarks,
+		Rate:       map[string][confidence.NumBuckets]float64{},
+		Samples:    map[string][confidence.NumBuckets]uint64{},
+	}
+	for _, name := range benchmarks {
+		r, err := runOne(cfg, name, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st := r.stats()
+		var rates [confidence.NumBuckets]float64
+		var samples [confidence.NumBuckets]uint64
+		for mdc := uint32(0); mdc < confidence.NumBuckets; mdc++ {
+			rates[mdc], samples[mdc] = st.BucketMispredictRate(mdc)
+		}
+		out.Rate[name] = rates
+		out.Samples[name] = samples
+	}
+	return out, nil
+}
+
+// Table renders the per-bucket mispredict rates, benchmarks as columns.
+func (f *Figure2) Table() *metrics.Table {
+	header := append([]string{"MDC"}, f.Benchmarks...)
+	t := metrics.NewTable(header...)
+	for mdc := 0; mdc < confidence.NumBuckets; mdc++ {
+		row := make([]any, 0, len(header))
+		row = append(row, mdc)
+		for _, b := range f.Benchmarks {
+			if f.Samples[b][mdc] == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f%%", f.Rate[b][mdc]))
+			}
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// Figure2Report runs the experiment on the paper's representative subset
+// and writes the table.
+func Figure2Report(cfg Config, w io.Writer) error {
+	f, err := RunFigure2(cfg, []string{"gcc", "vortex", "twolf", "gzip", "parser"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 2: mispredict rate (%) of retired conditional branches by MDC value")
+	fmt.Fprintln(w, "(paper: rates vary widely below any threshold, e.g. 43% at MDC 0 vs 12-15%")
+	fmt.Fprintln(w, " at MDC 2, and 'high-confidence' buckets still mispredict)")
+	fmt.Fprintln(w)
+	_, err = io.WriteString(w, f.Table().String())
+	return err
+}
+
+func allBenchmarks() []string {
+	return append([]string(nil), benchmarkNames...)
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestDiagReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration diagnostic")
+	}
+	cfg := Quick()
+	cfg.Instructions = 1_500_000
+	cfg.Warmup = 400_000
+	cfg.RefreshPeriod = 200_000
+	t7, err := RunTable7(cfg, []string{"parser", "twolf", "gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t7.Rows {
+		t.Logf("%s RMS=%.4f", row.Benchmark, row.RMS)
+		for _, p := range row.Reliability.Points() {
+			if p.Count > 1000 {
+				t.Logf("  pred=%3d obs=%6.1f n=%d", p.Predicted, p.Observed, p.Count)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/workload"
+)
+
+// runResult bundles what one measured benchmark run produced.
+type runResult struct {
+	Core *cpu.Core
+	TID  int
+}
+
+// runOne runs one benchmark on a fresh single-thread machine: warmup
+// (statistics discarded, predictors and caches trained), then the measured
+// window with the given probe installed. gate may be nil.
+func runOne(cfg Config, name string, ests []core.Estimator,
+	gate func() bool, probe func(tid int, goodpath bool)) (*runResult, error) {
+
+	spec, err := workload.NewBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	return runSpec(cfg, spec, cfg.Instructions, cfg.Warmup, ests, gate, probe)
+}
+
+// runSpec is runOne with an explicit spec and window sizes (the gating
+// sweep uses smaller windows).
+func runSpec(cfg Config, spec *workload.Spec, instructions, warmup uint64,
+	ests []core.Estimator, gate func() bool, probe func(tid int, goodpath bool)) (*runResult, error) {
+
+	c, err := cpu.New(cfg.machine())
+	if err != nil {
+		return nil, err
+	}
+	tid, err := c.AddThread(spec, ests)
+	if err != nil {
+		return nil, err
+	}
+	if gate != nil {
+		c.SetGate(gate)
+	}
+	c.Run(warmup, 0)
+	// The warmup stands in for the paper's multi-hundred-million
+	// instruction fast-forward, during which PaCo's log circuit would
+	// have run thousands of times; force one logarithmization at the
+	// boundary so measurement never starts from the cold-start profile.
+	for _, e := range ests {
+		if p, ok := e.(*core.PaCo); ok {
+			p.Refresh()
+		}
+	}
+	c.ResetStats()
+	if probe != nil {
+		c.SetProbe(probe)
+	}
+	c.Run(instructions, 0)
+	return &runResult{Core: c, TID: tid}, nil
+}
+
+// stats returns the measured thread's counters.
+func (r *runResult) stats() cpu.ThreadStats { return r.Core.ThreadStats(r.TID) }
+
+// ipc returns the measured thread's IPC.
+func (r *runResult) ipc() float64 { return r.Core.IPC(r.TID) }
+
+// benchmarkNames aliases the paper's benchmark list.
+var benchmarkNames = workload.BenchmarkNames

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/metrics"
+	"paco/internal/workload"
+)
+
+func init() { register("ablate-perceptron", AblatePerceptronReport) }
+
+// AblatePerceptron runs PaCo with two stratifiers — the paper's enhanced
+// JRS MDC and a perceptron confidence bucket (Akkary et al.) — and
+// compares RMS error per benchmark. The paper's Related Work predicts a
+// better stratifier simply improves PaCo.
+func AblatePerceptron(cfg Config, benchmarks []string) (*metrics.Table, error) {
+	if benchmarks == nil {
+		benchmarks = []string{"gzip", "parser", "twolf", "bzip2"}
+	}
+	t := metrics.NewTable("Benchmark", "JRS-stratified RMS", "perceptron-stratified RMS")
+	for _, name := range benchmarks {
+		jrsRMS, err := stratifiedRMS(cfg, name, false)
+		if err != nil {
+			return nil, err
+		}
+		perRMS, err := stratifiedRMS(cfg, name, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Row(name, jrsRMS, perRMS)
+	}
+	return t, nil
+}
+
+func stratifiedRMS(cfg Config, name string, perceptron bool) (float64, error) {
+	spec, err := workload.NewBenchmark(name)
+	if err != nil {
+		return 0, err
+	}
+	machine := cfg.machine()
+	machine.PerceptronStratifier = perceptron
+	c, err := cpu.New(machine)
+	if err != nil {
+		return 0, err
+	}
+	paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+	if _, err := c.AddThread(spec, []core.Estimator{paco}); err != nil {
+		return 0, err
+	}
+	c.Run(cfg.Warmup, 0)
+	paco.Refresh()
+	c.ResetStats()
+	rel := &metrics.Reliability{}
+	c.SetProbe(func(_ int, onGood bool) { rel.Add(paco.GoodpathProb(), onGood) })
+	c.Run(cfg.Instructions, 0)
+	return rel.RMSError(), nil
+}
+
+// AblatePerceptronReport writes the stratifier comparison.
+func AblatePerceptronReport(cfg Config, w io.Writer) error {
+	t, err := AblatePerceptron(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: JRS-MDC vs perceptron-confidence stratifier")
+	fmt.Fprintln(w, "(the paper treats the stratifier as pluggable; this swaps in Akkary-style")
+	fmt.Fprintln(w, " perceptron confidence buckets without touching PaCo itself)")
+	fmt.Fprintln(w)
+	_, err = io.WriteString(w, t.String())
+	return err
+}

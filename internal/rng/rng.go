@@ -1,0 +1,184 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The simulator must be exactly reproducible across runs and Go releases, so
+// it cannot depend on math/rand's unspecified sequence evolution. PCG32
+// (O'Neill, "PCG: A Family of Simple Fast Space-Efficient Statistically Good
+// Algorithms for Random Number Generation") is used: a 64-bit LCG state with
+// an output permutation, no global state, value-sized and cheap to fork.
+package rng
+
+import "math/bits"
+
+// RNG is a PCG32 generator. The zero value is not valid; use New.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; must be odd
+}
+
+const (
+	pcgMultiplier = 6364136223846793005
+	pcgIncrement  = 1442695040888963407
+)
+
+// New returns a generator seeded from seed on the default stream.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed, 0)
+	return r
+}
+
+// NewStream returns a generator seeded from seed on the given stream.
+// Generators with the same seed but different streams produce independent
+// sequences.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed, stream)
+	return r
+}
+
+// Seed resets the generator to a deterministic function of seed and stream.
+func (r *RNG) Seed(seed, stream uint64) {
+	r.inc = (stream<<1 + pcgIncrement) | 1
+	r.state = 0
+	r.Uint32()
+	r.state += seed
+	r.Uint32()
+}
+
+// Fork returns a new generator deterministically derived from r's current
+// state, advancing r. Forked generators evolve independently.
+func (r *RNG) Fork() *RNG {
+	return NewStream(r.Uint64(), r.Uint64())
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return bits.RotateLeft32(xorshifted, -int(rot))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	hi := uint64(r.Uint32())
+	lo := uint64(r.Uint32())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.boundedUint32(uint32(n)))
+}
+
+// boundedUint32 returns a uniform value in [0, bound) using Lemire's
+// multiply-shift rejection method.
+func (r *RNG) boundedUint32(bound uint32) uint32 {
+	for {
+		v := r.Uint32()
+		m := uint64(v) * uint64(bound)
+		lo := uint32(m)
+		if lo >= bound {
+			return uint32(m >> 32)
+		}
+		// Rejection zone: recompute the threshold once and retry until
+		// outside it.
+		threshold := -bound % bound
+		if lo >= threshold {
+			return uint32(m >> 32)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success.
+// For p <= 0 it returns a large bounded value instead of blocking.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return 1 << 20
+	}
+	n := 0
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<20 {
+			break
+		}
+	}
+	return n
+}
+
+// Range returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero or negative weights are treated as zero.
+// It panics if the total weight is not positive.
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice builds a sampler over the given weights.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: WeightedChoice with non-positive total weight")
+	}
+	return &WeightedChoice{cum: cum}
+}
+
+// Sample draws one index using r.
+func (w *WeightedChoice) Sample(r *RNG) int {
+	total := w.cum[len(w.cum)-1]
+	x := r.Float64() * total
+	// Binary search for the first cumulative weight exceeding x.
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Len reports the number of choices.
+func (w *WeightedChoice) Len() int { return len(w.cum) }

@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal outputs", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a, b := NewStream(7, 1), NewStream(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams produced %d/100 equal outputs", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(9)
+	f := a.Fork()
+	// The fork must not replay the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == f.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork tracked parent: %d/100 equal", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(6)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%v) rate %.4f", p, got)
+		}
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(7)
+	const p = 0.25
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // failures before first success
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %.3f, want ~%.3f", p, mean, want)
+	}
+	if r.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(8)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("Range(3,7) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Fatalf("Range never produced %d", v)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(9)
+	w := NewWeightedChoice([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %.2f, want ~3", ratio)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-total weights did not panic")
+		}
+	}()
+	NewWeightedChoice([]float64{0, -1})
+}
+
+func TestUint32Uniformity(t *testing.T) {
+	// Chi-squared over 16 buckets of the top nibble.
+	r := New(10)
+	var counts [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[r.Uint32()>>28]++
+	}
+	expected := float64(n) / 16
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof; 99.9th percentile ~37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-squared %.1f suggests non-uniform output", chi2)
+	}
+}

@@ -1,0 +1,94 @@
+package smt
+
+import (
+	"testing"
+
+	"paco/internal/cpu"
+)
+
+func testRC() RunConfig {
+	return RunConfig{WarmupCycles: 5_000, MeasureCycles: 20_000, Machine: cpu.SMTConfig()}
+}
+
+func TestPairs16Schedule(t *testing.T) {
+	if len(Pairs16) != 16 {
+		t.Fatalf("%d pairs, want 16", len(Pairs16))
+	}
+	counts := map[string]int{}
+	for _, p := range Pairs16 {
+		counts[p.A]++
+		counts[p.B]++
+		if p.A == p.B {
+			t.Fatalf("self-pair %v", p)
+		}
+	}
+	if counts["parser"] != 0 {
+		t.Fatal("parser must be excluded (paper's SMT simulator could not run it)")
+	}
+	if counts["gzip"] != 2 {
+		t.Fatalf("gzip appears %d times, want 2", counts["gzip"])
+	}
+	for name, n := range counts {
+		if name != "gzip" && n != 3 {
+			t.Fatalf("%s appears %d times, want 3", name, n)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (ICount{}).Name() != "ICOUNT" {
+		t.Fatal("ICount name")
+	}
+	if (ConfCount{Threshold: 7}).Name() != "JRS-thr7" {
+		t.Fatal("ConfCount name")
+	}
+	if (&PaCoPolicy{}).Name() != "PaCo" {
+		t.Fatal("PaCo name")
+	}
+	if (&RoundRobin{}).Name() != "RoundRobin" {
+		t.Fatal("RoundRobin name")
+	}
+}
+
+func TestSingleIPC(t *testing.T) {
+	ipc, err := SingleIPC(testRC(), "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc <= 0.2 || ipc > 8 {
+		t.Fatalf("single IPC %.3f implausible", ipc)
+	}
+}
+
+func TestRunPairAllPolicies(t *testing.T) {
+	pair := Pair{A: "gzip", B: "bzip2"}
+	for _, pol := range []Policy{
+		&RoundRobin{}, ICount{}, ConfCount{Threshold: 3}, &PaCoPolicy{RefreshPeriod: 5000},
+	} {
+		a, b, err := RunPair(testRC(), pair, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if a <= 0 || b <= 0 {
+			t.Fatalf("%s starved a thread: %.3f / %.3f", pol.Name(), a, b)
+		}
+	}
+}
+
+func TestRunPairUnknownBenchmark(t *testing.T) {
+	if _, _, err := RunPair(testRC(), Pair{A: "gzip", B: "nope"}, ICount{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestHMWIPCForPair(t *testing.T) {
+	if got := HMWIPCForPair(2, 2, 1, 1); got != 0.5 {
+		t.Fatalf("HMWIPC = %v", got)
+	}
+}
+
+func TestPairString(t *testing.T) {
+	if (Pair{A: "a", B: "b"}).String() != "a-b" {
+		t.Fatal("pair string")
+	}
+}

@@ -1,0 +1,299 @@
+// Package trace records and replays branch-event traces, decoupling path
+// confidence research from the bundled simulator: capture the branch
+// lifecycle of any run to a compact binary stream, then replay it against
+// any set of estimators offline (and deterministically) without paying the
+// cycle-level simulation cost again.
+//
+// The format is a little-endian stream of fixed-size records behind a
+// small header; encoding/binary only, no external dependencies.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"paco/internal/core"
+)
+
+// Magic identifies a trace stream; Version is bumped on format changes.
+const (
+	Magic   = 0x5061436f // "PaCo"
+	Version = 1
+)
+
+// EventKind tags one record.
+type EventKind uint8
+
+// Event kinds mirror the estimator lifecycle, plus a cycle marker.
+const (
+	EvFetch EventKind = iota + 1
+	EvResolve
+	EvSquash
+	EvRetire
+	EvCycle
+)
+
+// Event is one trace record.
+//
+// Fetch events carry the full BranchEvent plus a Tag identifying the
+// dynamic branch; Resolve/Squash reference the Tag; Retire carries the
+// event and correctness; Cycle advances simulated time (PC holds the
+// cycle number).
+type Event struct {
+	Kind    EventKind
+	Tag     uint64
+	PC      uint64
+	History uint32
+	MDC     uint8
+	Flags   uint8 // bit0: conditional, bit1: correct (retire)
+}
+
+const recordSize = 1 + 8 + 8 + 4 + 1 + 1
+
+// Writer serializes events.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   uint64
+}
+
+// NewWriter writes a header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one event.
+func (tw *Writer) Write(ev Event) error {
+	b := tw.buf[:]
+	b[0] = byte(ev.Kind)
+	binary.LittleEndian.PutUint64(b[1:], ev.Tag)
+	binary.LittleEndian.PutUint64(b[9:], ev.PC)
+	binary.LittleEndian.PutUint32(b[17:], ev.History)
+	b[21] = ev.MDC
+	b[22] = ev.Flags
+	_, err := tw.w.Write(b)
+	tw.n++
+	return err
+}
+
+// Events returns how many events have been written.
+func (tw *Writer) Events() uint64 { return tw.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader deserializes events.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+}
+
+// ErrBadHeader reports a stream that is not a PaCo trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// NewReader validates the header and returns a trace reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadHeader
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next event, or io.EOF at end of stream.
+func (tr *Reader) Read() (Event, error) {
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Event{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Event{}, err
+	}
+	b := tr.buf[:]
+	ev := Event{
+		Kind:    EventKind(b[0]),
+		Tag:     binary.LittleEndian.Uint64(b[1:]),
+		PC:      binary.LittleEndian.Uint64(b[9:]),
+		History: binary.LittleEndian.Uint32(b[17:]),
+		MDC:     b[21],
+		Flags:   b[22],
+	}
+	if ev.Kind < EvFetch || ev.Kind > EvCycle {
+		return Event{}, fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+	}
+	return ev, nil
+}
+
+// branchEvent converts a record to the estimator-facing event.
+func (ev Event) branchEvent() core.BranchEvent {
+	return core.BranchEvent{
+		PC:          ev.PC,
+		History:     ev.History,
+		MDC:         uint32(ev.MDC),
+		Conditional: ev.Flags&1 != 0,
+	}
+}
+
+// Recorder adapts an estimator-shaped sink into trace records: install it
+// as an extra estimator on a simulated thread and every lifecycle event is
+// captured. Contribution tokens carry the tag.
+type Recorder struct {
+	w       *Writer
+	nextTag uint64
+	err     error
+}
+
+// NewRecorder wraps a Writer as an Estimator.
+func NewRecorder(w *Writer) *Recorder { return &Recorder{w: w} }
+
+// Err returns the first write error, if any (the Estimator interface has
+// no error returns; check after the run).
+func (r *Recorder) Err() error { return r.err }
+
+func (r *Recorder) record(ev Event) {
+	if r.err == nil {
+		r.err = r.w.Write(ev)
+	}
+}
+
+// BranchFetched implements core.Estimator.
+func (r *Recorder) BranchFetched(ev core.BranchEvent) core.Contribution {
+	tag := r.nextTag
+	r.nextTag++
+	flags := uint8(0)
+	if ev.Conditional {
+		flags |= 1
+	}
+	r.record(Event{Kind: EvFetch, Tag: tag, PC: ev.PC, History: ev.History, MDC: uint8(ev.MDC), Flags: flags})
+	// Smuggle the tag through the contribution token.
+	return core.Contribution{Encoded: uint32(tag), Tracked: true, LowConf: ev.Conditional}
+}
+
+// BranchResolved implements core.Estimator.
+func (r *Recorder) BranchResolved(c core.Contribution) {
+	if c.Tracked {
+		r.record(Event{Kind: EvResolve, Tag: uint64(c.Encoded)})
+	}
+}
+
+// BranchSquashed implements core.Estimator.
+func (r *Recorder) BranchSquashed(c core.Contribution) {
+	if c.Tracked {
+		r.record(Event{Kind: EvSquash, Tag: uint64(c.Encoded)})
+	}
+}
+
+// BranchRetired implements core.Estimator.
+func (r *Recorder) BranchRetired(ev core.BranchEvent, correct bool) {
+	flags := uint8(0)
+	if ev.Conditional {
+		flags |= 1
+	}
+	if correct {
+		flags |= 2
+	}
+	r.record(Event{Kind: EvRetire, PC: ev.PC, History: ev.History, MDC: uint8(ev.MDC), Flags: flags})
+}
+
+// Tick implements core.Estimator: cycle markers let replay drive periodic
+// work at the original cadence. Only every 64th cycle is recorded to keep
+// traces compact, so replay reproduces live estimator state exactly when
+// periodic work (e.g. PaCo's RefreshPeriod) is a multiple of 64 cycles;
+// otherwise refresh points may shift by up to 63 cycles.
+func (r *Recorder) Tick(cycle uint64) {
+	if cycle%64 == 0 {
+		r.record(Event{Kind: EvCycle, PC: cycle})
+	}
+}
+
+// Reset implements core.Estimator.
+func (r *Recorder) Reset() { r.nextTag = 0 }
+
+var _ core.Estimator = (*Recorder)(nil)
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Fetches, Resolves, Squashes, Retires uint64
+	Cycles                               uint64
+}
+
+// Replay drives a set of estimators from a trace. Dangling in-flight
+// branches at end of trace are squashed so estimator sums drain.
+func Replay(r *Reader, ests []core.Estimator) (ReplayStats, error) {
+	var st ReplayStats
+	type slot struct {
+		contribs []core.Contribution
+	}
+	inflight := map[uint64]slot{}
+	for {
+		ev, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		switch ev.Kind {
+		case EvFetch:
+			st.Fetches++
+			be := ev.branchEvent()
+			s := slot{contribs: make([]core.Contribution, len(ests))}
+			for i, e := range ests {
+				s.contribs[i] = e.BranchFetched(be)
+			}
+			inflight[ev.Tag] = s
+		case EvResolve, EvSquash:
+			s, ok := inflight[ev.Tag]
+			if !ok {
+				return st, fmt.Errorf("trace: tag %d resolved without fetch", ev.Tag)
+			}
+			delete(inflight, ev.Tag)
+			for i, e := range ests {
+				if ev.Kind == EvResolve {
+					e.BranchResolved(s.contribs[i])
+
+				} else {
+					e.BranchSquashed(s.contribs[i])
+				}
+			}
+			if ev.Kind == EvResolve {
+				st.Resolves++
+			} else {
+				st.Squashes++
+			}
+		case EvRetire:
+			st.Retires++
+			be := ev.branchEvent()
+			for _, e := range ests {
+				e.BranchRetired(be, ev.Flags&2 != 0)
+			}
+		case EvCycle:
+			st.Cycles = ev.PC
+			for _, e := range ests {
+				e.Tick(ev.PC)
+			}
+		}
+	}
+	for _, s := range inflight {
+		for i, e := range ests {
+			e.BranchSquashed(s.contribs[i])
+		}
+	}
+	return st, nil
+}

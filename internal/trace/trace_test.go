@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/workload"
+)
+
+func TestRoundTripRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Kind: EvFetch, Tag: 1, PC: 0x1000, History: 0xAB, MDC: 7, Flags: 1},
+		{Kind: EvResolve, Tag: 1},
+		{Kind: EvRetire, PC: 0x1000, History: 0xAB, MDC: 7, Flags: 3},
+		{Kind: EvCycle, PC: 640},
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != uint64(len(events)) {
+		t.Fatal("event count")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Kind: EvFetch, Tag: 1, Flags: 1})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Kind: EventKind(99)})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := r.Read(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestRecordReplayEquivalence is the headline property: running PaCo live
+// inside the simulator and replaying a recorded trace into a fresh PaCo
+// must produce identical MRT state and identical final sums.
+func TestRecordReplayEquivalence(t *testing.T) {
+	spec := &workload.Spec{
+		Name: "tracetest", Seed: 5, BlocksPerPhase: 150, AvgBlockLen: 5,
+		LoadFrac: 0.2, StoreFrac: 0.1, DepGeoP: 0.3, WorkingSetKB: 64,
+		Phases: []workload.Phase{{Instructions: 1 << 62,
+			Mix: workload.BranchMix{Biased: 0.5, Loop: 0.2, Noisy: 0.3, NoisyEps: 0.1, LoopTripMin: 6, LoopTripMax: 12}}},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(w)
+	live := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 6400})
+
+	c, err := cpu.New(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddThread(spec, []core.Estimator{live, rec}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(60_000, 0)
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 6400})
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(r, []core.Estimator{replayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fetches == 0 || st.Retires == 0 {
+		t.Fatalf("empty replay: %+v", st)
+	}
+	if st.Fetches != st.Resolves+st.Squashes {
+		// Replay squashes dangling branches itself, so the event counts
+		// may differ by the in-flight tail; tolerate only that.
+		if st.Fetches < st.Resolves+st.Squashes {
+			t.Fatalf("more resolutions than fetches: %+v", st)
+		}
+	}
+	// MRT state must match exactly: same retires were seen.
+	for mdc := uint32(0); mdc < 16; mdc++ {
+		lc, lm := live.MRTCounts(mdc)
+		rc, rm := replayed.MRTCounts(mdc)
+		if lc != rc || lm != rm {
+			t.Fatalf("MRT bucket %d diverged: live %d/%d vs replay %d/%d", mdc, lc, lm, rc, rm)
+		}
+	}
+	if live.Table() != replayed.Table() {
+		t.Fatal("encoded tables diverged between live and replay")
+	}
+}
+
+func TestReplayDanglingSquashed(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := NewRecorder(w)
+	// Fetch two branches, resolve none.
+	rec.BranchFetched(core.BranchEvent{PC: 1, MDC: 0, Conditional: true})
+	rec.BranchFetched(core.BranchEvent{PC: 2, MDC: 0, Conditional: true})
+	w.Flush()
+	p := core.NewPaCo(core.PaCoConfig{})
+	r, _ := NewReader(&buf)
+	if _, err := Replay(r, []core.Estimator{p}); err != nil {
+		t.Fatal(err)
+	}
+	if p.EncodedSum() != 0 {
+		t.Fatalf("dangling branches not drained: sum=%d", p.EncodedSum())
+	}
+}
+
+func TestReplayRejectsOrphanResolve(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Kind: EvResolve, Tag: 42})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := Replay(r, nil); err == nil {
+		t.Fatal("orphan resolve accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+// Calibration guard: each synthetic benchmark's conditional mispredict
+// rate under the real tournament predictor must stay inside its Table 7
+// band. This is the regression test that keeps workload tweaks honest —
+// every experiment's shape depends on these rates.
+
+import (
+	"testing"
+
+	"paco/internal/branch"
+	"paco/internal/confidence"
+)
+
+// calibrationBand is the acceptable conditional mispredict range in
+// percent. Centers are the paper's Table 7 values; widths reflect that we
+// match bands, not points (DESIGN.md §2).
+var calibrationBands = map[string][2]float64{
+	"bzip2":    {8, 16},
+	"crafty":   {4, 9},
+	"gcc":      {1.5, 6.5},
+	"gap":      {3.5, 8.5},
+	"gzip":     {1.5, 6},
+	"mcf":      {3, 10},
+	"parser":   {3.5, 8},
+	"perlbmk":  {0.05, 1.6},
+	"twolf":    {11, 21},
+	"vortex":   {0.2, 2},
+	"vprPlace": {8, 19},
+	"vprRoute": {8, 19},
+}
+
+// predictStream runs the tournament predictor over the goodpath stream
+// directly (no timing model): the pure predictability of each model.
+func predictStream(t *testing.T, name string, n int) (rate float64) {
+	t.Helper()
+	spec := MustBenchmark(name)
+	w, err := NewWalker(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := branch.NewTournament(branch.DefaultTournamentConfig())
+	ghr := branch.NewHistory(8)
+	var seen, miss uint64
+	warmup := n / 3
+	for i := 0; i < n; i++ {
+		ins := w.Next()
+		if ins.Kind != KindBranch {
+			continue
+		}
+		p := pred.Predict(ins.PC, ghr.Value())
+		pred.Update(ins.PC, ghr.Value(), ins.Taken)
+		ghr.Push(ins.Taken)
+		if i < warmup {
+			continue
+		}
+		seen++
+		if p != ins.Taken {
+			miss++
+		}
+	}
+	if seen == 0 {
+		t.Fatalf("%s produced no branches", name)
+	}
+	return 100 * float64(miss) / float64(seen)
+}
+
+// TestBenchmarkCalibration checks every model's in-order predictability
+// band. Note: in-order prediction (no wrong-path history corruption) runs
+// slightly below the full-machine rates, so the bands are generous at the
+// bottom.
+func TestBenchmarkCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, name := range BenchmarkNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			band, ok := calibrationBands[name]
+			if !ok {
+				t.Fatalf("no band for %s", name)
+			}
+			rate := predictStream(t, name, 900_000)
+			t.Logf("%s: %.2f%% (band %.1f-%.1f)", name, rate, band[0], band[1])
+			if rate < band[0] || rate > band[1] {
+				t.Errorf("%s mispredict rate %.2f%% outside band [%.1f, %.1f]",
+					name, rate, band[0], band[1])
+			}
+		})
+	}
+}
+
+// TestJRSStratificationPerBenchmark: every model must populate both ends
+// of the MDC bucket spectrum — the stratification PaCo depends on.
+func TestJRSStratificationPerBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, name := range BenchmarkNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := MustBenchmark(name)
+			w, err := NewWalker(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := branch.NewTournament(branch.DefaultTournamentConfig())
+			jrs := confidence.New(confidence.DefaultConfig())
+			ghr := branch.NewHistory(8)
+			var buckets [confidence.NumBuckets]uint64
+			for i := 0; i < 400_000; i++ {
+				ins := w.Next()
+				if ins.Kind != KindBranch {
+					continue
+				}
+				p := pred.Predict(ins.PC, ghr.Value())
+				mdc := jrs.MDC(ins.PC, ghr.Value(), p)
+				buckets[mdc]++
+				jrs.Update(ins.PC, ghr.Value(), p, p == ins.Taken)
+				pred.Update(ins.PC, ghr.Value(), ins.Taken)
+				ghr.Push(ins.Taken)
+			}
+			if buckets[confidence.MDCMax] == 0 {
+				t.Error("top MDC bucket never populated")
+			}
+			var low uint64
+			for _, b := range buckets[:3] {
+				low += b
+			}
+			if low == 0 {
+				t.Error("low MDC buckets never populated")
+			}
+		})
+	}
+}
