@@ -1,0 +1,260 @@
+// Command paco-campaign runs arbitrary configuration sweeps through the
+// campaign engine: a grid over benchmarks, MRT refresh periods, machine
+// widths, and gating schemes, one simulation job per cell, sharded
+// across a worker pool. Results are emitted as structured JSON (the
+// campaign result schema, mergeable across shards with equal grids) or
+// CSV.
+//
+// Usage:
+//
+//	paco-campaign [flags]
+//
+// Examples:
+//
+//	# PaCo accuracy on every benchmark at two refresh periods
+//	paco-campaign -refresh 100000,200000
+//
+//	# gating sweep: machine widths x PaCo targets, CSV for plotting
+//	paco-campaign -benchmarks gzip,twolf -widths 4,8 \
+//	    -probgates 0.1,0.2,0.5 -format csv
+//
+//	# conventional threshold-and-count gating cells
+//	paco-campaign -thresholds 3,15 -gatecount 4
+//
+// Each cell attaches a PaCo estimator with a reliability probe, so every
+// result carries the predictor's RMS error (extra column "rms_error")
+// alongside IPC and the path/mispredict/squash counters. A nonzero
+// -seed overrides every workload's seed, making separate invocations
+// comparable instruction-stream for instruction-stream.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"paco/internal/campaign"
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/gating"
+	"paco/internal/metrics"
+	"paco/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paco-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	benchmarks := flag.String("benchmarks", "all", "comma-separated benchmark names, or 'all'")
+	instructions := flag.Uint64("instructions", 600_000, "measured instructions per cell")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per cell")
+	refreshes := flag.String("refresh", "200000", "comma-separated MRT refresh periods (cycles)")
+	widths := flag.String("widths", "4", "comma-separated machine widths (fetch/retire/FU)")
+	probGates := flag.String("probgates", "", "comma-separated PaCo gating targets (e.g. 0.1,0.2); empty = ungated")
+	thresholds := flag.String("thresholds", "", "comma-separated JRS thresholds for conventional gating cells")
+	gateCount := flag.Int("gatecount", 3, "gate-count used with -thresholds")
+	seed := flag.Uint64("seed", 0, "workload seed override (0 = per-benchmark default)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
+	format := flag.String("format", "json", "output format: json or csv")
+	out := flag.String("out", "", "write results to a file instead of stdout")
+	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	flag.Parse()
+
+	if *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (json or csv)", *format)
+	}
+	names := workload.BenchmarkNames
+	if *benchmarks != "all" {
+		names = strings.Split(*benchmarks, ",")
+		for _, n := range names {
+			if _, err := workload.NewBenchmark(n); err != nil {
+				return err
+			}
+		}
+	}
+	refreshList, err := parseUints(*refreshes)
+	if err != nil {
+		return fmt.Errorf("-refresh: %w", err)
+	}
+	widthList, err := parseInts(*widths)
+	if err != nil {
+		return fmt.Errorf("-widths: %w", err)
+	}
+
+	// Gating axis: ungated, PaCo targets, and/or conventional cells.
+	type gateCfg struct {
+		label string
+		mk    func(refresh uint64) gating.Gate // nil = ungated
+	}
+	var gates []gateCfg
+	if *probGates == "" && *thresholds == "" {
+		gates = append(gates, gateCfg{label: "ungated"})
+	}
+	if *probGates != "" {
+		targets, err := parseFloats(*probGates)
+		if err != nil {
+			return fmt.Errorf("-probgates: %w", err)
+		}
+		for _, p := range targets {
+			p := p
+			gates = append(gates, gateCfg{
+				label: fmt.Sprintf("prob%g", p),
+				mk:    func(refresh uint64) gating.Gate { return gating.NewProbGate(p, refresh) },
+			})
+		}
+	}
+	if *thresholds != "" {
+		thrs, err := parseUints(*thresholds)
+		if err != nil {
+			return fmt.Errorf("-thresholds: %w", err)
+		}
+		for _, thr := range thrs {
+			thr, gc := uint32(thr), *gateCount
+			gates = append(gates, gateCfg{
+				label: fmt.Sprintf("thr%d-gate%d", thr, gc),
+				mk:    func(uint64) gating.Gate { return gating.NewCountGate(thr, gc) },
+			})
+		}
+	}
+
+	// The grid: benchmark x refresh x width x gate.
+	var campaignJobs []campaign.Job
+	for _, name := range names {
+		for _, refresh := range refreshList {
+			for _, width := range widthList {
+				machine := cpu.DefaultConfig()
+				machine.FetchWidth = width
+				machine.RetireWidth = width
+				machine.FUCount = width
+				for _, gc := range gates {
+					refresh, gc, machine := refresh, gc, machine
+					campaignJobs = append(campaignJobs, campaign.Job{
+						ID:           fmt.Sprintf("%s/refresh=%d/width=%d/%s", name, refresh, width, gc.label),
+						Benchmark:    name,
+						Instructions: *instructions,
+						Warmup:       *warmup,
+						Machine:      &machine,
+						Seed:         *seed,
+						Setup: func() campaign.Hooks {
+							rel := &metrics.Reliability{}
+							hooks := campaign.Hooks{
+								Collect: func(res *campaign.Result, _ *cpu.Core, _ int) {
+									res.SetExtra("rms_error", rel.RMSError())
+									res.SetExtra("probe_instances", float64(rel.Instances()))
+								},
+							}
+							var paco *core.PaCo
+							if gc.mk != nil {
+								g := gc.mk(refresh)
+								hooks.Gate = g.ShouldGate
+								if pg, ok := g.(*gating.ProbGate); ok {
+									paco = pg.PaCo()
+									hooks.Estimators = []core.Estimator{paco}
+								} else {
+									// Conventional gate: measure PaCo alongside it.
+									paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
+									hooks.Estimators = []core.Estimator{g.Estimator(), paco}
+								}
+							} else {
+								paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
+								hooks.Estimators = []core.Estimator{paco}
+							}
+							hooks.Probe = func(_ int, onGood bool) {
+								rel.Add(paco.GoodpathProb(), onGood)
+							}
+							return hooks
+						},
+					})
+				}
+			}
+		}
+	}
+
+	// Create the output file before the sweep so an unwritable path
+	// fails in milliseconds, not after hours of simulation.
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	runner := campaign.Runner{Workers: *jobs}
+	if !*quiet {
+		runner.OnProgress = func(done, total int, r *campaign.Result) {
+			status := "ok"
+			if r.Failed() {
+				status = r.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, r.JobID, status)
+		}
+	}
+	start := time.Now()
+	// Write whatever completed even if some cells failed: each Result
+	// carries its own error, and discarding an hours-long sweep over one
+	// bad cell helps nobody. The first failure is still reported via the
+	// exit status.
+	results, runErr := runner.Run(context.Background(), campaignJobs)
+	var writeErr error
+	if *format == "json" {
+		writeErr = campaign.WriteJSON(w, results)
+	} else {
+		writeErr = campaign.WriteCSV(w, results)
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	s := campaign.Summarize(results)
+	fmt.Fprintf(os.Stderr, "[%d cells (%d failed), mean IPC %.3f, %v at -j %d]\n",
+		s.Jobs, s.Failed+s.Skipped, s.MeanIPC, time.Since(start).Round(time.Millisecond), *jobs)
+	return runErr
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	vs, err := parseUints(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"paco/internal/experiments"
@@ -24,6 +25,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("paco", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use the small test-scale configuration")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "simulation worker pool size")
 	instructions := fs.Uint64("instructions", 0, "measured instructions per benchmark run (0 = config default)")
 	warmup := fs.Uint64("warmup", 0, "warmup instructions per run (0 = config default)")
 	refresh := fs.Uint64("refresh", 0, "PaCo MRT refresh period in cycles (0 = config default)")
@@ -62,6 +64,7 @@ func main() {
 	if *refresh != 0 {
 		cfg.RefreshPeriod = *refresh
 	}
+	cfg.Workers = *jobs
 	start := time.Now()
 	if err := experiments.Run(name, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "paco:", err)

@@ -1,0 +1,3 @@
+module paco
+
+go 1.24

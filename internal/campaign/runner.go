@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner executes campaigns across a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent jobs; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+
+	// OnProgress, when non-nil, is called after every job finishes (or is
+	// skipped on cancellation) with the number of settled jobs, the
+	// campaign size, and the job's result. Calls are serialized; the
+	// callback needs no locking of its own.
+	OnProgress func(done, total int, r *Result)
+}
+
+// Run executes the campaign and returns one Result per job, in job
+// order, regardless of worker count or completion order.
+//
+// A job that fails or panics records its error in its Result and does
+// not disturb the others; Run then returns the first failure (by job
+// index) alongside the full result slice. Cancelling ctx stops new jobs
+// from starting — in-flight jobs run to completion, unstarted jobs are
+// marked Skipped — and Run returns ctx.Err().
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]Result, len(jobs))
+	started := make([]bool, len(jobs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done, total := 0, len(jobs)
+	progress := func(res *Result) {
+		mu.Lock()
+		done++
+		if r.OnProgress != nil {
+			r.OnProgress(done, total, res)
+		}
+		mu.Unlock()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					results[i] = skipped(&jobs[i], i, ctx)
+				} else {
+					results[i] = execute(ctx, &jobs[i], i)
+				}
+				progress(&results[i])
+			}
+		}()
+	}
+
+	// Feed job indices until the campaign is exhausted or ctx is
+	// cancelled; the main goroutine feeds, so it knows exactly which jobs
+	// were handed out.
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i := range jobs {
+		if !started[i] {
+			results[i] = skipped(&jobs[i], i, ctx)
+			progress(&results[i])
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for i := range results {
+		if results[i].Err != "" {
+			return results, fmt.Errorf("campaign: job %d (%s): %s", i, results[i].JobID, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// execute runs one job with panic recovery.
+func execute(ctx context.Context, job *Job, idx int) (out Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = Result{
+				JobID:     job.ID,
+				Index:     idx,
+				Benchmark: job.Benchmark,
+				Err:       fmt.Sprintf("panic: %v", p),
+			}
+		}
+	}()
+	var (
+		res *Result
+		err error
+	)
+	if job.Exec != nil {
+		res, err = job.Exec(ctx)
+	} else {
+		res, err = run(job)
+	}
+	if err != nil {
+		return Result{JobID: job.ID, Index: idx, Benchmark: job.Benchmark, Err: err.Error()}
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	res.JobID = job.ID
+	res.Index = idx
+	if res.Benchmark == "" {
+		res.Benchmark = job.Benchmark
+	}
+	return *res
+}
+
+func skipped(job *Job, idx int, ctx context.Context) Result {
+	errText := "skipped"
+	if err := ctx.Err(); err != nil {
+		errText = err.Error()
+	}
+	return Result{JobID: job.ID, Index: idx, Benchmark: job.Benchmark, Skipped: true, Err: errText}
+}
+
+// Run executes jobs on a fresh Runner — the convenience entry point for
+// callers without progress reporting.
+func Run(ctx context.Context, workers int, jobs []Job) ([]Result, error) {
+	r := Runner{Workers: workers}
+	return r.Run(ctx, jobs)
+}

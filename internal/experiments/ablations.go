@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"paco/internal/bitutil"
+	"paco/internal/campaign"
 	"paco/internal/core"
 	"paco/internal/gating"
 	"paco/internal/metrics"
@@ -66,27 +67,36 @@ func AblateStratifier(cfg Config, benchmarks []string) (*metrics.Table, error) {
 	if benchmarks == nil {
 		benchmarks = []string{"gzip", "parser", "twolf", "vortex"}
 	}
+	// Profiling wave, then the dynamic-vs-oracle measurement wave.
+	profJobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		profJobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, nil)
+	}
+	profResults, err := runJobs(cfg, profJobs)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([][2]*metrics.Reliability, len(benchmarks))
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		i := i
+		profile := profileFromStats(profResults[i].Stats)
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+			profile := profile
+			dyn := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+			oracle := core.NewStaticMRT(&profile)
+			rel := [2]*metrics.Reliability{{}, {}}
+			rels[i] = rel
+			return relHooks([]core.Estimator{dyn, oracle},
+				[]core.Probabilistic{dyn, oracle}, rel[:])
+		})
+	}
+	if _, err := runJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
 	t := metrics.NewTable("Benchmark", "dynamic MRT RMS", "oracle-profile RMS")
-	for _, name := range benchmarks {
-		prof, err := runOne(cfg, name, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		profile := profileFromStats(prof)
-
-		dyn := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
-		oracle := core.NewStaticMRT(&profile)
-		rels := [2]*metrics.Reliability{{}, {}}
-		ests := []core.Probabilistic{dyn, oracle}
-		if _, err := runOne(cfg, name, []core.Estimator{dyn, oracle}, nil,
-			func(_ int, onGood bool) {
-				for i, e := range ests {
-					rels[i].Add(e.GoodpathProb(), onGood)
-				}
-			}); err != nil {
-			return nil, err
-		}
-		t.Row(name, rels[0].RMSError(), rels[1].RMSError())
+	for i, name := range benchmarks {
+		t.Row(name, rels[i][0].RMSError(), rels[i][1].RMSError())
 	}
 	return t, nil
 }
@@ -162,30 +172,50 @@ func AblateThrottle(cfg Config, benchmarks []string) (*metrics.Table, error) {
 		{"PaCo-gate-50%", func() gating.Gate { return gating.NewProbGate(0.50, cfg.RefreshPeriod) }},
 		{"PaCo-throttle-50..10%", func() gating.Gate { return newThrottleGate(0.50, 0.10, cfg.RefreshPeriod) }},
 	}
-	// Baselines per benchmark.
-	type base struct{ ipc, execBad float64 }
-	bases := map[string]base{}
-	for _, name := range benchmarks {
-		r, err := runOne(cfg, name, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		st := r.stats()
-		bases[name] = base{ipc: r.ipc(), execBad: float64(st.ExecutedBad)}
+	// Baselines per benchmark, then the whole (scheme x benchmark) grid
+	// as one campaign.
+	baseJobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		baseJobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, nil)
 	}
+	baseResults, err := runJobs(cfg, baseJobs)
+	if err != nil {
+		return nil, err
+	}
+	type base struct{ ipc, execBad float64 }
+	bases := make([]base, len(benchmarks))
+	for i := range benchmarks {
+		bases[i] = base{ipc: baseResults[i].IPC, execBad: float64(baseResults[i].Stats.ExecutedBad)}
+	}
+	jobs := make([]campaign.Job, 0, len(schemes)*len(benchmarks))
+	for _, sc := range schemes {
+		for _, name := range benchmarks {
+			mk := sc.mk
+			job := benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+				g := mk()
+				return campaign.Hooks{
+					Estimators: []core.Estimator{g.Estimator()},
+					Gate:       g.ShouldGate,
+				}
+			})
+			job.ID = sc.name + "/" + name
+			jobs = append(jobs, job)
+		}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, sc := range schemes {
 		var loss, red, gated float64
-		for _, name := range benchmarks {
-			g := sc.mk()
-			r, err := runOne(cfg, name, []core.Estimator{g.Estimator()}, g.ShouldGate, nil)
-			if err != nil {
-				return nil, err
-			}
-			st := r.stats()
-			b := bases[name]
-			loss += 100 * (b.ipc - r.ipc()) / b.ipc
-			red += reduction(b.execBad, float64(st.ExecutedBad))
-			gated += 100 * float64(st.GatedCycles) / float64(r.Core.Stats().Cycles)
+		for i := range benchmarks {
+			r := results[k]
+			k++
+			b := bases[i]
+			loss += 100 * (b.ipc - r.IPC) / b.ipc
+			red += reduction(b.execBad, float64(r.Stats.ExecutedBad))
+			gated += 100 * float64(r.Stats.GatedCycles) / float64(r.Cycles)
 		}
 		n := float64(len(benchmarks))
 		t.Row(sc.name, fmt.Sprintf("%+.2f", loss/n), fmt.Sprintf("%.1f", red/n), fmt.Sprintf("%.1f", gated/n))

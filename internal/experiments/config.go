@@ -45,6 +45,12 @@ type Config struct {
 	// Machine overrides the single-thread machine (zero value selects
 	// cpu.DefaultConfig()).
 	Machine *cpu.Config
+
+	// Workers bounds the campaign worker pool every experiment submits
+	// its simulation jobs to (<= 0 selects runtime.GOMAXPROCS(0)). For a
+	// fixed configuration, results are identical regardless of worker
+	// count.
+	Workers int
 }
 
 // Default returns the full-scale configuration.

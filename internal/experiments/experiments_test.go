@@ -227,6 +227,42 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+// TestWorkerCountDeterminism is the campaign rewiring's acceptance
+// criterion: for a fixed configuration, reports are byte-identical
+// whether the jobs run serially or across 8 workers.
+func TestWorkerCountDeterminism(t *testing.T) {
+	cfg := Quick()
+	cfg.Instructions = 40_000
+	cfg.Warmup = 15_000
+	cfg.GatingInstructions = 25_000
+	cfg.GatingWarmup = 8_000
+	cfg.GateThresholds = []uint32{3}
+	cfg.GateCounts = []int{2, 6}
+	cfg.ProbTargets = []float64{0.2, 0.5}
+
+	render := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		var buf bytes.Buffer
+		t7, err := RunTable7(c, []string{"gzip", "twolf", "bzip2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(t7.Table().String())
+		f10, err := RunFigure10(c, []string{"gzip", "twolf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(f10.Table().String())
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("reports differ across worker counts:\n-j1:\n%s\n-j8:\n%s", serial, parallel)
+	}
+}
+
 // TestReportsRender drives every registered report at tiny scale through
 // the io.Writer interface.
 func TestReportsRender(t *testing.T) {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/core"
 	"paco/internal/gating"
 	"paco/internal/metrics"
-	"paco/internal/workload"
 )
 
 func init() { register("fig10", Figure10Report) }
@@ -52,80 +52,97 @@ func RunFigure10(cfg Config, benchmarks []string) (*Figure10, error) {
 	if benchmarks == nil {
 		benchmarks = allBenchmarks()
 	}
-	specs := make([]*workload.Spec, len(benchmarks))
-	for i, n := range benchmarks {
-		s, err := workload.NewBenchmark(n)
-		if err != nil {
-			return nil, err
-		}
-		specs[i] = s
-	}
 
-	// Ungated baselines.
-	base := make([]gatingBaseline, len(specs))
-	for i, spec := range specs {
-		r, err := runSpec(cfg, spec, cfg.GatingInstructions, cfg.GatingWarmup, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		st := r.stats()
+	// Ungated baselines, one campaign job per benchmark.
+	baseJobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		baseJobs[i] = benchJob(cfg, name, cfg.GatingInstructions, cfg.GatingWarmup, nil)
+	}
+	baseResults, err := runJobs(cfg, baseJobs)
+	if err != nil {
+		return nil, err
+	}
+	base := make([]gatingBaseline, len(benchmarks))
+	for i := range benchmarks {
+		r := baseResults[i]
 		base[i] = gatingBaseline{
-			ipc:        r.ipc(),
-			execBad:    float64(st.ExecutedBad),
-			fetchedBad: float64(st.FetchedBad),
+			ipc:        r.IPC,
+			execBad:    float64(r.Stats.ExecutedBad),
+			fetchedBad: float64(r.Stats.FetchedBad),
 		}
 	}
 
+	// The sweep grid: every gate configuration, in series order.
 	out := &Figure10{Series: map[string][]GatingPoint{}}
-	sweep := func(label string, mk func() gating.Gate) error {
-		pt := GatingPoint{Config: label}
-		var n float64
-		for i, spec := range specs {
-			g := mk()
-			r, err := runSpec(cfg, spec, cfg.GatingInstructions, cfg.GatingWarmup,
-				[]core.Estimator{g.Estimator()}, g.ShouldGate, nil)
-			if err != nil {
-				return err
-			}
-			st := r.stats()
-			b := base[i]
-			pt.PerfLoss += 100 * (b.ipc - r.ipc()) / b.ipc
-			pt.BadpathReduction += reduction(b.execBad, float64(st.ExecutedBad))
-			pt.FetchedBadReduction += reduction(b.fetchedBad, float64(st.FetchedBad))
-			pt.GatedCycleFrac += float64(st.GatedCycles) / float64(r.Core.Stats().Cycles)
-			n++
-		}
-		pt.PerfLoss /= n
-		pt.BadpathReduction /= n
-		pt.FetchedBadReduction /= n
-		pt.GatedCycleFrac /= n
-		series := seriesOf(label)
-		out.Series[series] = append(out.Series[series], pt)
-		return nil
+	type sweepCfg struct {
+		label string
+		mk    func() gating.Gate
 	}
-
+	var sweeps []sweepCfg
 	for _, thr := range cfg.GateThresholds {
 		name := fmt.Sprintf("JRS-thr%d", thr)
 		out.Order = append(out.Order, name)
 		// Sweep from conservative (high gate-count) to aggressive.
 		for i := len(cfg.GateCounts) - 1; i >= 0; i-- {
-			gc := cfg.GateCounts[i]
-			thr, gc := thr, gc
-			if err := sweep(fmt.Sprintf("JRS-thr%d-gate%d", thr, gc), func() gating.Gate {
-				return gating.NewCountGate(thr, gc)
-			}); err != nil {
-				return nil, err
-			}
+			thr, gc := thr, cfg.GateCounts[i]
+			sweeps = append(sweeps, sweepCfg{
+				label: fmt.Sprintf("JRS-thr%d-gate%d", thr, gc),
+				mk:    func() gating.Gate { return gating.NewCountGate(thr, gc) },
+			})
 		}
 	}
 	out.Order = append(out.Order, "PaCo")
 	for _, p := range cfg.ProbTargets {
 		p := p
-		if err := sweep(fmt.Sprintf("PaCo-%02.0f%%", p*100), func() gating.Gate {
-			return gating.NewProbGate(p, cfg.RefreshPeriod)
-		}); err != nil {
-			return nil, err
+		sweeps = append(sweeps, sweepCfg{
+			label: fmt.Sprintf("PaCo-%02.0f%%", p*100),
+			mk:    func() gating.Gate { return gating.NewProbGate(p, cfg.RefreshPeriod) },
+		})
+	}
+
+	// One job per (configuration, benchmark) cell — the whole grid shards
+	// across the worker pool at once.
+	jobs := make([]campaign.Job, 0, len(sweeps)*len(benchmarks))
+	for _, sc := range sweeps {
+		for _, name := range benchmarks {
+			mk := sc.mk
+			job := benchJob(cfg, name, cfg.GatingInstructions, cfg.GatingWarmup, func() campaign.Hooks {
+				g := mk()
+				return campaign.Hooks{
+					Estimators: []core.Estimator{g.Estimator()},
+					Gate:       g.ShouldGate,
+				}
+			})
+			job.ID = sc.label + "/" + name
+			jobs = append(jobs, job)
 		}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate per configuration, benchmarks in order — the summation
+	// order is fixed, so points are identical at any worker count.
+	k := 0
+	for _, sc := range sweeps {
+		pt := GatingPoint{Config: sc.label}
+		n := float64(len(benchmarks))
+		for i := range benchmarks {
+			r := results[k]
+			k++
+			b := base[i]
+			pt.PerfLoss += 100 * (b.ipc - r.IPC) / b.ipc
+			pt.BadpathReduction += reduction(b.execBad, float64(r.Stats.ExecutedBad))
+			pt.FetchedBadReduction += reduction(b.fetchedBad, float64(r.Stats.FetchedBad))
+			pt.GatedCycleFrac += float64(r.Stats.GatedCycles) / float64(r.Cycles)
+		}
+		pt.PerfLoss /= n
+		pt.BadpathReduction /= n
+		pt.FetchedBadReduction /= n
+		pt.GatedCycleFrac /= n
+		series := seriesOf(sc.label)
+		out.Series[series] = append(out.Series[series], pt)
 	}
 	return out, nil
 }

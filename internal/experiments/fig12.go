@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/cpu"
 	"paco/internal/metrics"
 	"paco/internal/smt"
@@ -35,7 +37,10 @@ func defaultPolicies(cfg Config) []smt.Policy {
 }
 
 // RunFigure12 executes the SMT study: single-thread IPCs for weighting,
-// then every pair under every policy.
+// then every pair under every policy. The runs are multi-thread SMT
+// measurements the declarative job fields cannot express, so they ride
+// the campaign engine as custom Exec jobs — the single-thread baselines
+// as one wave, the (pair x policy) grid as a second.
 func RunFigure12(cfg Config, pairs []smt.Pair) (*Figure12, error) {
 	if pairs == nil {
 		pairs = smt.Pairs16
@@ -45,41 +50,84 @@ func RunFigure12(cfg Config, pairs []smt.Pair) (*Figure12, error) {
 		MeasureCycles: cfg.SMTMeasureCycles,
 		Machine:       cpu.SMTConfig(),
 	}
-	policies := defaultPolicies(cfg)
+	policyNames := make([]string, len(defaultPolicies(cfg)))
+	for i, pol := range defaultPolicies(cfg) {
+		policyNames[i] = pol.Name()
+	}
 
-	// Single-thread baselines, one per distinct benchmark.
-	single := map[string]float64{}
+	// Single-thread baselines, one job per distinct benchmark.
+	var singles []string
+	seen := map[string]bool{}
 	for _, p := range pairs {
 		for _, name := range []string{p.A, p.B} {
-			if _, done := single[name]; done {
-				continue
+			if !seen[name] {
+				seen[name] = true
+				singles = append(singles, name)
 			}
-			ipc, err := smt.SingleIPC(rc, name)
-			if err != nil {
-				return nil, err
-			}
-			single[name] = ipc
 		}
+	}
+	singleJobs := make([]campaign.Job, len(singles))
+	for i, name := range singles {
+		name := name
+		singleJobs[i] = campaign.Job{
+			ID:        "single/" + name,
+			Benchmark: name,
+			Exec: func(context.Context) (*campaign.Result, error) {
+				ipc, err := smt.SingleIPC(rc, name)
+				return &campaign.Result{IPC: ipc}, err
+			},
+		}
+	}
+	singleResults, err := runJobs(cfg, singleJobs)
+	if err != nil {
+		return nil, err
+	}
+	single := map[string]float64{}
+	for i, name := range singles {
+		single[name] = singleResults[i].IPC
+	}
+
+	// The (pair x policy) grid. Each job constructs its own policy
+	// instance so no estimator or policy state is shared across workers.
+	jobs := make([]campaign.Job, 0, len(pairs)*len(policyNames))
+	for _, pair := range pairs {
+		for pi := range policyNames {
+			pair, pi := pair, pi
+			jobs = append(jobs, campaign.Job{
+				ID: pair.String() + "/" + policyNames[pi],
+				Exec: func(context.Context) (*campaign.Result, error) {
+					a, b, err := smt.RunPair(rc, pair, defaultPolicies(cfg)[pi])
+					if err != nil {
+						return nil, err
+					}
+					res := &campaign.Result{Benchmark: pair.String()}
+					res.SetExtra("ipc_a", a)
+					res.SetExtra("ipc_b", b)
+					return res, nil
+				},
+			})
+		}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
 	}
 
 	out := &Figure12{
-		Pairs:  pairs,
-		HMWIPC: map[string]map[string]float64{},
-		Mean:   map[string]float64{},
+		Pairs:    pairs,
+		Policies: policyNames,
+		HMWIPC:   map[string]map[string]float64{},
+		Mean:     map[string]float64{},
 	}
-	for _, pol := range policies {
-		out.Policies = append(out.Policies, pol.Name())
-	}
+	k := 0
 	for _, pair := range pairs {
 		out.HMWIPC[pair.String()] = map[string]float64{}
-		for _, pol := range policies {
-			a, b, err := smt.RunPair(rc, pair, pol)
-			if err != nil {
-				return nil, err
-			}
-			h := smt.HMWIPCForPair(single[pair.A], single[pair.B], a, b)
-			out.HMWIPC[pair.String()][pol.Name()] = h
-			out.Mean[pol.Name()] += h / float64(len(pairs))
+		for _, pol := range policyNames {
+			r := results[k]
+			k++
+			h := smt.HMWIPCForPair(single[pair.A], single[pair.B], r.Extra["ipc_a"], r.Extra["ipc_b"])
+			out.HMWIPC[pair.String()][pol] = h
+			out.Mean[pol] += h / float64(len(pairs))
 		}
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/confidence"
 	"paco/internal/metrics"
 )
@@ -34,12 +35,16 @@ func RunFigure2(cfg Config, benchmarks []string) (*Figure2, error) {
 		Rate:       map[string][confidence.NumBuckets]float64{},
 		Samples:    map[string][confidence.NumBuckets]uint64{},
 	}
-	for _, name := range benchmarks {
-		r, err := runOne(cfg, name, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		st := r.stats()
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, nil)
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range benchmarks {
+		st := results[i].Stats
 		var rates [confidence.NumBuckets]float64
 		var samples [confidence.NumBuckets]uint64
 		for mdc := uint32(0); mdc < confidence.NumBuckets; mdc++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/core"
 	"paco/internal/cpu"
 	"paco/internal/metrics"
@@ -45,23 +46,36 @@ func RunFigure3a(cfg Config, probe CounterValueProbe, benchmarks []string) ([]Fi
 	if benchmarks == nil {
 		benchmarks = []string{"crafty", "gzip", "bzip2", "vprRoute"}
 	}
-	var rows []Figure3Row
-	for _, name := range benchmarks {
-		cnt := core.NewCountPredictor(probe.Threshold)
-		var hits, good uint64
-		r, err := runOne(cfg, name, []core.Estimator{cnt}, nil,
-			func(_ int, onGood bool) {
-				if cnt.Count() == probe.Count {
-					hits++
-					if onGood {
-						good++
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+			cnt := core.NewCountPredictor(probe.Threshold)
+			var hits, good uint64
+			return campaign.Hooks{
+				Estimators: []core.Estimator{cnt},
+				Probe: func(_ int, onGood bool) {
+					if cnt.Count() == probe.Count {
+						hits++
+						if onGood {
+							good++
+						}
 					}
-				}
-			})
-		if err != nil {
-			return nil, err
-		}
-		_ = r
+				},
+				Collect: func(res *campaign.Result, _ *cpu.Core, _ int) {
+					res.SetExtra("hits", float64(hits))
+					res.SetExtra("good", float64(good))
+				},
+			}
+		})
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure3Row
+	for i, name := range benchmarks {
+		hits := uint64(results[i].Extra["hits"])
+		good := uint64(results[i].Extra["good"])
 		rows = append(rows, Figure3Row{Label: name, Goodpath: pct(good, hits), Instances: hits})
 	}
 	return rows, nil
@@ -70,41 +84,50 @@ func RunFigure3a(cfg Config, probe CounterValueProbe, benchmarks []string) ([]Fi
 // RunFigure3b measures the same quantity separately for the first two
 // phases of mcf and gcc (the paper's Figure 3(b)).
 func RunFigure3b(cfg Config, probe CounterValueProbe) ([]Figure3Row, error) {
-	var rows []Figure3Row
-	for _, name := range []string{"mcf", "gcc"} {
-		spec, err := workload.NewBenchmark(name)
-		if err != nil {
-			return nil, err
-		}
-		cnt := core.NewCountPredictor(probe.Threshold)
-		c, err := cpu.New(cfg.machine())
-		if err != nil {
-			return nil, err
-		}
-		tid, err := c.AddThread(spec, []core.Estimator{cnt})
-		if err != nil {
-			return nil, err
-		}
-		c.Run(cfg.Warmup, 0)
-		c.ResetStats()
-		wk := c.Walker(tid)
-		var hits, good [2]uint64
-		c.SetProbe(func(_ int, onGood bool) {
-			ph := wk.Phase()
-			if ph > 1 || cnt.Count() != probe.Count {
-				return
-			}
-			hits[ph]++
-			if onGood {
-				good[ph]++
+	benchmarks := []string{"mcf", "gcc"}
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+			cnt := core.NewCountPredictor(probe.Threshold)
+			var wk *workload.Walker
+			var hits, good [2]uint64
+			return campaign.Hooks{
+				Estimators: []core.Estimator{cnt},
+				Attached: func(c *cpu.Core, tid int) {
+					wk = c.Walker(tid)
+				},
+				Probe: func(_ int, onGood bool) {
+					ph := wk.Phase()
+					if ph > 1 || cnt.Count() != probe.Count {
+						return
+					}
+					hits[ph]++
+					if onGood {
+						good[ph]++
+					}
+				},
+				Collect: func(res *campaign.Result, _ *cpu.Core, _ int) {
+					for ph := 0; ph < 2; ph++ {
+						res.SetExtra(fmt.Sprintf("hits%d", ph), float64(hits[ph]))
+						res.SetExtra(fmt.Sprintf("good%d", ph), float64(good[ph]))
+					}
+				},
 			}
 		})
-		c.Run(cfg.Instructions, 0)
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure3Row
+	for i, name := range benchmarks {
 		for ph := 0; ph < 2; ph++ {
+			hits := uint64(results[i].Extra[fmt.Sprintf("hits%d", ph)])
+			good := uint64(results[i].Extra[fmt.Sprintf("good%d", ph)])
 			rows = append(rows, Figure3Row{
 				Label:     fmt.Sprintf("%s_phase%d", name, ph+1),
-				Goodpath:  pct(good[ph], hits[ph]),
-				Instances: hits[ph],
+				Goodpath:  pct(good, hits),
+				Instances: hits,
 			})
 		}
 	}

@@ -1,69 +1,57 @@
 package experiments
 
 import (
+	"context"
+
+	"paco/internal/campaign"
 	"paco/internal/core"
-	"paco/internal/cpu"
+	"paco/internal/metrics"
 	"paco/internal/workload"
 )
 
-// runResult bundles what one measured benchmark run produced.
-type runResult struct {
-	Core *cpu.Core
-	TID  int
+// Every experiment submits its per-benchmark measurement runs to the
+// campaign engine (internal/campaign) instead of looping serially: the
+// experiment builds one campaign.Job per (benchmark, configuration)
+// cell, runJobs shards them across cfg.Workers goroutines, and the
+// experiment aggregates the returned results in job order. Each
+// simulation is deterministic given its spec seed and jobs share no
+// state, so reports are byte-identical at any worker count.
+
+// benchJob builds the standard single-thread measurement job: warmup
+// (statistics discarded, predictors and caches trained), then the
+// measured window with the setup's estimators, gate, and probes
+// installed. setup may be nil.
+func benchJob(cfg Config, name string, instructions, warmup uint64, setup campaign.Setup) campaign.Job {
+	return campaign.Job{
+		ID:           name,
+		Benchmark:    name,
+		Instructions: instructions,
+		Warmup:       warmup,
+		Machine:      cfg.Machine,
+		Setup:        setup,
+	}
 }
 
-// runOne runs one benchmark on a fresh single-thread machine: warmup
-// (statistics discarded, predictors and caches trained), then the measured
-// window with the given probe installed. gate may be nil.
-func runOne(cfg Config, name string, ests []core.Estimator,
-	gate func() bool, probe func(tid int, goodpath bool)) (*runResult, error) {
-
-	spec, err := workload.NewBenchmark(name)
-	if err != nil {
-		return nil, err
-	}
-	return runSpec(cfg, spec, cfg.Instructions, cfg.Warmup, ests, gate, probe)
+// runJobs executes a campaign on cfg's worker pool.
+func runJobs(cfg Config, jobs []campaign.Job) ([]campaign.Result, error) {
+	return campaign.Run(context.Background(), cfg.Workers, jobs)
 }
 
-// runSpec is runOne with an explicit spec and window sizes (the gating
-// sweep uses smaller windows).
-func runSpec(cfg Config, spec *workload.Spec, instructions, warmup uint64,
-	ests []core.Estimator, gate func() bool, probe func(tid int, goodpath bool)) (*runResult, error) {
-
-	c, err := cpu.New(cfg.machine())
-	if err != nil {
-		return nil, err
+// relHooks builds the accuracy-measurement hooks shared by Table 7, the
+// Appendix A study, and the ablations: attach the estimators and, at
+// every probe instance, record each probabilistic estimator's goodpath
+// probability against the oracle in its paired reliability diagram.
+// probs[i] pairs with rels[i]; probs must all appear in estimators.
+func relHooks(estimators []core.Estimator, probs []core.Probabilistic, rels []*metrics.Reliability) campaign.Hooks {
+	return campaign.Hooks{
+		Estimators: estimators,
+		Probe: func(_ int, onGood bool) {
+			for i, e := range probs {
+				rels[i].Add(e.GoodpathProb(), onGood)
+			}
+		},
 	}
-	tid, err := c.AddThread(spec, ests)
-	if err != nil {
-		return nil, err
-	}
-	if gate != nil {
-		c.SetGate(gate)
-	}
-	c.Run(warmup, 0)
-	// The warmup stands in for the paper's multi-hundred-million
-	// instruction fast-forward, during which PaCo's log circuit would
-	// have run thousands of times; force one logarithmization at the
-	// boundary so measurement never starts from the cold-start profile.
-	for _, e := range ests {
-		if p, ok := e.(*core.PaCo); ok {
-			p.Refresh()
-		}
-	}
-	c.ResetStats()
-	if probe != nil {
-		c.SetProbe(probe)
-	}
-	c.Run(instructions, 0)
-	return &runResult{Core: c, TID: tid}, nil
 }
-
-// stats returns the measured thread's counters.
-func (r *runResult) stats() cpu.ThreadStats { return r.Core.ThreadStats(r.TID) }
-
-// ipc returns the measured thread's IPC.
-func (r *runResult) ipc() float64 { return r.Core.IPC(r.TID) }
 
 // benchmarkNames aliases the paper's benchmark list.
 var benchmarkNames = workload.BenchmarkNames

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/core"
-	"paco/internal/cpu"
 	"paco/internal/metrics"
-	"paco/internal/workload"
 )
 
 func init() { register("ablate-perceptron", AblatePerceptronReport) }
@@ -20,43 +19,39 @@ func AblatePerceptron(cfg Config, benchmarks []string) (*metrics.Table, error) {
 	if benchmarks == nil {
 		benchmarks = []string{"gzip", "parser", "twolf", "bzip2"}
 	}
+	// The grid is (benchmark x stratifier); each cell is one campaign
+	// job with the machine's stratifier switched accordingly.
+	rels := make([]*metrics.Reliability, 2*len(benchmarks))
+	jobs := make([]campaign.Job, 0, 2*len(benchmarks))
+	for i, name := range benchmarks {
+		for v, perceptron := range []bool{false, true} {
+			slot := 2*i + v
+			machine := cfg.machine()
+			machine.PerceptronStratifier = perceptron
+			job := campaign.Job{
+				ID:           fmt.Sprintf("%s/perceptron=%t", name, perceptron),
+				Benchmark:    name,
+				Instructions: cfg.Instructions,
+				Warmup:       cfg.Warmup,
+				Machine:      &machine,
+				Setup: func() campaign.Hooks {
+					paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+					rel := &metrics.Reliability{}
+					rels[slot] = rel
+					return relHooks([]core.Estimator{paco}, []core.Probabilistic{paco}, []*metrics.Reliability{rel})
+				},
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	if _, err := runJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
 	t := metrics.NewTable("Benchmark", "JRS-stratified RMS", "perceptron-stratified RMS")
-	for _, name := range benchmarks {
-		jrsRMS, err := stratifiedRMS(cfg, name, false)
-		if err != nil {
-			return nil, err
-		}
-		perRMS, err := stratifiedRMS(cfg, name, true)
-		if err != nil {
-			return nil, err
-		}
-		t.Row(name, jrsRMS, perRMS)
+	for i, name := range benchmarks {
+		t.Row(name, rels[2*i].RMSError(), rels[2*i+1].RMSError())
 	}
 	return t, nil
-}
-
-func stratifiedRMS(cfg Config, name string, perceptron bool) (float64, error) {
-	spec, err := workload.NewBenchmark(name)
-	if err != nil {
-		return 0, err
-	}
-	machine := cfg.machine()
-	machine.PerceptronStratifier = perceptron
-	c, err := cpu.New(machine)
-	if err != nil {
-		return 0, err
-	}
-	paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
-	if _, err := c.AddThread(spec, []core.Estimator{paco}); err != nil {
-		return 0, err
-	}
-	c.Run(cfg.Warmup, 0)
-	paco.Refresh()
-	c.ResetStats()
-	rel := &metrics.Reliability{}
-	c.SetProbe(func(_ int, onGood bool) { rel.Add(paco.GoodpathProb(), onGood) })
-	c.Run(cfg.Instructions, 0)
-	return rel.RMSError(), nil
 }
 
 // AblatePerceptronReport writes the stratifier comparison.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"paco/internal/campaign"
 	"paco/internal/core"
 	"paco/internal/metrics"
 )
@@ -41,19 +42,26 @@ func RunTable7(cfg Config, benchmarks []string) (*Table7, error) {
 	if benchmarks == nil {
 		benchmarks = allBenchmarks()
 	}
+	rels := make([]*metrics.Reliability, len(benchmarks))
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		i := i
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+			paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+			rel := &metrics.Reliability{}
+			rels[i] = rel
+			return relHooks([]core.Estimator{paco}, []core.Probabilistic{paco}, []*metrics.Reliability{rel})
+		})
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
 	out := &Table7{Cumulative: &metrics.Reliability{}}
 	var rmsSum float64
-	for _, name := range benchmarks {
-		paco := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
-		rel := &metrics.Reliability{}
-		r, err := runOne(cfg, name, []core.Estimator{paco}, nil,
-			func(_ int, onGood bool) {
-				rel.Add(paco.GoodpathProb(), onGood)
-			})
-		if err != nil {
-			return nil, err
-		}
-		st := r.stats()
+	for i, name := range benchmarks {
+		st := results[i].Stats
+		rel := rels[i]
 		row := Table7Row{
 			Benchmark:   name,
 			RMS:         rel.RMSError(),

@@ -5,8 +5,10 @@ import (
 	"io"
 
 	"paco/internal/bitutil"
+	"paco/internal/campaign"
 	"paco/internal/confidence"
 	"paco/internal/core"
+	"paco/internal/cpu"
 	"paco/internal/metrics"
 )
 
@@ -34,34 +36,45 @@ func RunTableA1(cfg Config, benchmarks []string) (*TableA1, error) {
 	if benchmarks == nil {
 		benchmarks = allBenchmarks()
 	}
-	out := &TableA1{Mean: TableA1Row{Benchmark: "mean"}}
-	for _, name := range benchmarks {
-		// Profiling pass: bucket mispredict rates for the static table.
-		prof, err := runOne(cfg, name, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		profile := profileFromStats(prof)
+	// Profiling wave: bucket mispredict rates for the static tables, one
+	// job per benchmark.
+	profJobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		profJobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, nil)
+	}
+	profResults, err := runJobs(cfg, profJobs)
+	if err != nil {
+		return nil, err
+	}
 
-		dyn := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
-		static := core.NewStaticMRT(&profile)
-		perBr := core.NewPerBranchMRT(core.DefaultPerBranchEntries)
-		rels := [3]*metrics.Reliability{{}, {}, {}}
-		ests := []core.Probabilistic{dyn, static, perBr}
-		_, err = runOne(cfg, name, []core.Estimator{dyn, static, perBr}, nil,
-			func(_ int, onGood bool) {
-				for i, e := range ests {
-					rels[i].Add(e.GoodpathProb(), onGood)
-				}
-			})
-		if err != nil {
-			return nil, err
-		}
+	// Measurement wave: the three estimator variants side by side.
+	rels := make([][3]*metrics.Reliability, len(benchmarks))
+	jobs := make([]campaign.Job, len(benchmarks))
+	for i, name := range benchmarks {
+		i := i
+		profile := profileFromStats(profResults[i].Stats)
+		jobs[i] = benchJob(cfg, name, cfg.Instructions, cfg.Warmup, func() campaign.Hooks {
+			profile := profile
+			dyn := core.NewPaCo(core.PaCoConfig{RefreshPeriod: cfg.RefreshPeriod})
+			static := core.NewStaticMRT(&profile)
+			perBr := core.NewPerBranchMRT(core.DefaultPerBranchEntries)
+			rel := [3]*metrics.Reliability{{}, {}, {}}
+			rels[i] = rel
+			return relHooks([]core.Estimator{dyn, static, perBr},
+				[]core.Probabilistic{dyn, static, perBr}, rel[:])
+		})
+	}
+	if _, err := runJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
+
+	out := &TableA1{Mean: TableA1Row{Benchmark: "mean"}}
+	for i, name := range benchmarks {
 		row := TableA1Row{
 			Benchmark:    name,
-			DynamicMRT:   rels[0].RMSError(),
-			StaticMRT:    rels[1].RMSError(),
-			PerBranchMRT: rels[2].RMSError(),
+			DynamicMRT:   rels[i][0].RMSError(),
+			StaticMRT:    rels[i][1].RMSError(),
+			PerBranchMRT: rels[i][2].RMSError(),
 		}
 		out.Rows = append(out.Rows, row)
 		out.Mean.DynamicMRT += row.DynamicMRT / float64(len(benchmarks))
@@ -74,8 +87,7 @@ func RunTableA1(cfg Config, benchmarks []string) (*TableA1, error) {
 // profileFromStats converts a profiling run's bucket statistics into a
 // frozen encoded-probability table; unobserved buckets fall back to the
 // generic default profile.
-func profileFromStats(r *runResult) [confidence.NumBuckets]uint32 {
-	st := r.stats()
+func profileFromStats(st cpu.ThreadStats) [confidence.NumBuckets]uint32 {
 	profile := core.DefaultStaticProfile()
 	for mdc := uint32(0); mdc < confidence.NumBuckets; mdc++ {
 		c, m := st.BucketCorrect[mdc], st.BucketMispred[mdc]

@@ -26,9 +26,11 @@
 package paco
 
 import (
+	"context"
 	"io"
 
 	"paco/internal/bitutil"
+	"paco/internal/campaign"
 	"paco/internal/confidence"
 	"paco/internal/core"
 	"paco/internal/cpu"
@@ -159,4 +161,55 @@ func Experiments() []string { return experiments.Names() }
 // w.
 func RunExperiment(name string, cfg ExperimentConfig, w io.Writer) error {
 	return experiments.Run(name, cfg, w)
+}
+
+// Campaign engine (see internal/campaign and DESIGN.md): independent
+// simulation jobs shard across a bounded worker pool with panic
+// recovery, cancellation, and progress callbacks, producing structured
+// results that serialize to JSON/CSV and merge across shards. For a
+// fixed configuration, results are identical at any worker count.
+type (
+	// CampaignJob describes one independent simulation run.
+	CampaignJob = campaign.Job
+	// CampaignSetup constructs a job's per-run hooks on the worker
+	// goroutine.
+	CampaignSetup = campaign.Setup
+	// CampaignHooks attaches estimators, a gate, and probes to one run.
+	CampaignHooks = campaign.Hooks
+	// CampaignRunner executes campaigns with progress reporting.
+	CampaignRunner = campaign.Runner
+	// CampaignResult is the structured record one job produces.
+	CampaignResult = campaign.Result
+	// CampaignSummary aggregates a campaign's results.
+	CampaignSummary = campaign.Summary
+)
+
+// RunCampaign executes jobs across a worker pool (workers <= 0 selects
+// GOMAXPROCS) and returns one result per job, in job order.
+func RunCampaign(ctx context.Context, workers int, jobs []CampaignJob) ([]CampaignResult, error) {
+	return campaign.Run(ctx, workers, jobs)
+}
+
+// MergeCampaignResults recombines result shards into job order.
+func MergeCampaignResults(shards ...[]CampaignResult) []CampaignResult {
+	return campaign.Merge(shards...)
+}
+
+// SummarizeCampaign folds results into aggregate counters.
+func SummarizeCampaign(results []CampaignResult) CampaignSummary {
+	return campaign.Summarize(results)
+}
+
+// WriteCampaignJSON and ReadCampaignJSON serialize campaign results for
+// cross-process sharding; WriteCampaignCSV emits them for plotting.
+func WriteCampaignJSON(w io.Writer, results []CampaignResult) error {
+	return campaign.WriteJSON(w, results)
+}
+
+func ReadCampaignJSON(r io.Reader) ([]CampaignResult, error) {
+	return campaign.ReadJSON(r)
+}
+
+func WriteCampaignCSV(w io.Writer, results []CampaignResult) error {
+	return campaign.WriteCSV(w, results)
 }
