@@ -1,0 +1,106 @@
+// Command paco-bench measures simulator kernel throughput — simulated
+// kcycles per wall second, allocations per cycle, and the per-stage cost
+// breakdown — and writes the paco-bench/v1 JSON report that seeds the
+// repository's bench trajectory (BENCH_kernel.json).
+//
+// Usage:
+//
+//	paco-bench [flags]
+//
+// Examples:
+//
+//	# measure the default configurations and print the report
+//	paco-bench
+//
+//	# refresh the committed baseline, comparing against the previous one
+//	paco-bench -baseline BENCH_kernel.json -out BENCH_kernel.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"paco/internal/perf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paco-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	benchmarks := flag.String("benchmarks", "gzip,twolf,mcf", "comma-separated benchmark names to measure")
+	smt := flag.Bool("smt", true, "also measure the two-thread SMT machine")
+	warmup := flag.Uint64("warmup", 0, "warmup cycles per configuration (0 = default)")
+	cycles := flag.Uint64("cycles", 0, "measured cycles per configuration (0 = default)")
+	stageCycles := flag.Uint64("stagecycles", 0, "instrumented cycles for the stage breakdown (0 = default)")
+	baseline := flag.String("baseline", "", "prior report to compare against (its own baseline is dropped)")
+	out := flag.String("out", "", "write the report to a file instead of stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to a file")
+	flag.Parse()
+
+	var base *perf.Report
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return err
+		}
+		base, err = perf.ReadReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		base.Baseline = nil // keep the artifact one level deep
+	}
+
+	opts := perf.Options{WarmupCycles: *warmup, MeasureCycles: *cycles, StageCycles: *stageCycles}
+	var rep *perf.Report
+	err := perf.WithProfiles(*cpuprofile, "", func() error {
+		var merr error
+		rep, merr = perf.MeasureAll(strings.Split(*benchmarks, ","), *smt, opts)
+		return merr
+	})
+	if err != nil {
+		return err
+	}
+	if base != nil {
+		rep.AttachBaseline(base)
+	}
+
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
+		return err
+	}
+	if outFile != nil {
+		// The report is a committed baseline artifact: surface close-time
+		// flush errors rather than exiting 0 with a truncated file.
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "[%s: %.0f kcycles/s, %.0f kinstrs/s, %.3f allocs/cycle]\n",
+			r.Name, r.KCyclesPerSec, r.KInstrsPerSec, r.AllocsPerCycle)
+	}
+	if rep.SpeedupKCycles != 0 {
+		fmt.Fprintf(os.Stderr, "[speedup vs baseline: %.2fx kcycles/s]\n", rep.SpeedupKCycles)
+	}
+	return nil
+}

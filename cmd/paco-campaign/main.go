@@ -44,6 +44,7 @@ import (
 	"paco/internal/cpu"
 	"paco/internal/gating"
 	"paco/internal/metrics"
+	"paco/internal/perf"
 	"paco/internal/workload"
 )
 
@@ -68,6 +69,8 @@ func run() error {
 	format := flag.String("format", "json", "output format: json or csv")
 	out := flag.String("out", "", "write results to a file instead of stdout")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to a file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to a file")
 	flag.Parse()
 
 	if *format != "json" && *format != "csv" {
@@ -206,21 +209,24 @@ func run() error {
 	// Write whatever completed even if some cells failed: each Result
 	// carries its own error, and discarding an hours-long sweep over one
 	// bad cell helps nobody. The first failure is still reported via the
-	// exit status.
-	results, runErr := runner.Run(context.Background(), campaignJobs)
-	var writeErr error
-	if *format == "json" {
-		writeErr = campaign.WriteJSON(w, results)
-	} else {
-		writeErr = campaign.WriteCSV(w, results)
-	}
-	if writeErr != nil {
-		return writeErr
-	}
-	s := campaign.Summarize(results)
-	fmt.Fprintf(os.Stderr, "[%d cells (%d failed), mean IPC %.3f, %v at -j %d]\n",
-		s.Jobs, s.Failed+s.Skipped, s.MeanIPC, time.Since(start).Round(time.Millisecond), *jobs)
-	return runErr
+	// exit status. Profiling wraps only the sweep itself, so flag errors
+	// above never leave profile files behind.
+	return perf.WithProfiles(*cpuprofile, *memprofile, func() error {
+		results, runErr := runner.Run(context.Background(), campaignJobs)
+		var writeErr error
+		if *format == "json" {
+			writeErr = campaign.WriteJSON(w, results)
+		} else {
+			writeErr = campaign.WriteCSV(w, results)
+		}
+		if writeErr != nil {
+			return writeErr
+		}
+		s := campaign.Summarize(results)
+		fmt.Fprintf(os.Stderr, "[%d cells (%d failed), mean IPC %.3f, %v at -j %d]\n",
+			s.Jobs, s.Failed+s.Skipped, s.MeanIPC, time.Since(start).Round(time.Millisecond), *jobs)
+		return runErr
+	})
 }
 
 func parseUints(s string) ([]uint64, error) {

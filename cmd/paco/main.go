@@ -20,12 +20,15 @@ import (
 	"time"
 
 	"paco/internal/experiments"
+	"paco/internal/perf"
 )
 
 func main() {
 	fs := flag.NewFlagSet("paco", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use the small test-scale configuration")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to a file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to a file")
 	instructions := fs.Uint64("instructions", 0, "measured instructions per benchmark run (0 = config default)")
 	warmup := fs.Uint64("warmup", 0, "warmup instructions per run (0 = config default)")
 	refresh := fs.Uint64("refresh", 0, "PaCo MRT refresh period in cycles (0 = config default)")
@@ -66,7 +69,10 @@ func main() {
 	}
 	cfg.Workers = *jobs
 	start := time.Now()
-	if err := experiments.Run(name, cfg, os.Stdout); err != nil {
+	err := perf.WithProfiles(*cpuprofile, *memprofile, func() error {
+		return experiments.Run(name, cfg, os.Stdout)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paco:", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,8 @@ type Cache struct {
 	sets      [][]line
 	setMask   uint64
 	lineShift uint
+	tagShift  uint
+	lruTick   uint64 // strictly increasing recency stamp
 
 	accesses     uint64
 	misses       uint64
@@ -55,6 +57,7 @@ func New(cfg Config) *Cache {
 		sets:      make([][]line, setCount),
 		setMask:   uint64(setCount - 1),
 		lineShift: shift,
+		tagShift:  uint(popcount(uint64(setCount - 1))),
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
@@ -71,7 +74,7 @@ func (c *Cache) Access(addr uint64, badpath bool) bool {
 	}
 	blk := addr >> c.lineShift
 	set := c.sets[blk&c.setMask]
-	tag := blk >> uint(popcount(c.setMask))
+	tag := blk >> c.tagShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			c.touch(set, i)
@@ -103,14 +106,14 @@ func (c *Cache) Access(addr uint64, badpath bool) bool {
 	return false
 }
 
+// touch stamps line i as the set's most recently used. A cache-wide
+// strictly increasing tick replaces the seed's max-scan-plus-one: both
+// schemes assign a value strictly greater than every live line's stamp,
+// so the recency order — and therefore every LRU victim choice — is
+// identical, without the O(ways) scan per access.
 func (c *Cache) touch(set []line, i int) {
-	maxLRU := uint64(0)
-	for j := range set {
-		if set[j].lru > maxLRU {
-			maxLRU = set[j].lru
-		}
-	}
-	set[i].lru = maxLRU + 1
+	c.lruTick++
+	set[i].lru = c.lruTick
 }
 
 // Stats reports lifetime counters.

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"paco/internal/confidence"
+)
+
+// TestEstimatorTickZeroAllocs pins every estimator's per-cycle Tick —
+// including PaCo's periodic MRT logarithmization — to zero heap
+// allocations: Tick runs every simulated cycle on every attached
+// estimator.
+func TestEstimatorTickZeroAllocs(t *testing.T) {
+	ests := map[string]Estimator{
+		"paco":      NewPaCo(PaCoConfig{RefreshPeriod: 2}), // refresh on nearly every tick
+		"count":     NewCountPredictor(3),
+		"static":    NewStaticMRT(nil),
+		"perbranch": NewPerBranchMRT(DefaultPerBranchEntries),
+	}
+	for name, est := range ests {
+		est := est
+		// Populate some state so PaCo's Refresh exercises Encode.
+		for i := 0; i < 200; i++ {
+			ev := BranchEvent{PC: uint64(0x1000 + 4*i), MDC: uint32(i) % confidence.NumBuckets, Conditional: true}
+			c := est.BranchFetched(ev)
+			est.BranchRetired(ev, i%3 != 0)
+			est.BranchResolved(c)
+		}
+		cycle := uint64(0)
+		allocs := testing.AllocsPerRun(10_000, func() {
+			cycle++
+			est.Tick(cycle)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Tick allocates %.4f times per cycle, want 0", name, allocs)
+		}
+	}
+}
+
+// TestHotPathZeroAllocs pins the per-branch estimator lifecycle
+// (fetch/resolve/squash/retire) to zero allocations.
+func TestHotPathZeroAllocs(t *testing.T) {
+	p := NewPaCo(PaCoConfig{})
+	ev := BranchEvent{PC: 0x1234, MDC: 3, Conditional: true}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		c := p.BranchFetched(ev)
+		p.BranchRetired(ev, true)
+		p.BranchResolved(c)
+		c = p.BranchFetched(ev)
+		p.BranchSquashed(c)
+	})
+	if allocs != 0 {
+		t.Fatalf("PaCo hot path allocates %.4f times per branch, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"paco/internal/core"
+	"paco/internal/workload"
+)
+
+// TestTickZeroAllocs pins the steady-state cycle loop to zero heap
+// allocations: after warmup has grown the wheel buckets, ready queue, and
+// waiter arenas to their high-water marks, Core.tick must not allocate.
+func TestTickZeroAllocs(t *testing.T) {
+	c := benchCore(t, "gzip")
+	c.RunCycles(300_000) // past all structure growth and cache warmup
+	allocs := testing.AllocsPerRun(20_000, func() {
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Core.tick allocates %.2f times per cycle in steady state, want 0", allocs)
+	}
+}
+
+// TestTickZeroAllocsSMT repeats the check with two hardware contexts and
+// the SMT machine configuration.
+func TestTickZeroAllocsSMT(t *testing.T) {
+	spec1, err := workload.NewBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := workload.NewBenchmark("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(SMTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []*workload.Spec{spec1, spec2} {
+		if _, err := c.AddThread(spec, []core.Estimator{core.NewPaCo(core.PaCoConfig{})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunCycles(300_000)
+	allocs := testing.AllocsPerRun(20_000, func() {
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("SMT Core.tick allocates %.2f times per cycle in steady state, want 0", allocs)
+	}
+}
+
+// TestAddThreadEstimatorLimit pins the MaxEstimators validation: one more
+// estimator than robEntry.contribs can hold must be rejected with a
+// descriptive error, not mis-indexed.
+func TestAddThreadEstimatorLimit(t *testing.T) {
+	spec, err := workload.NewBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := make([]core.Estimator, MaxEstimators+1)
+	for i := range ests {
+		ests[i] = core.NewPaCo(core.PaCoConfig{})
+	}
+	if _, err := c.AddThread(spec, ests); err == nil {
+		t.Fatalf("AddThread accepted %d estimators, want error at > %d", len(ests), MaxEstimators)
+	} else if !strings.Contains(err.Error(), "estimators") {
+		t.Fatalf("AddThread error %q does not mention estimators", err)
+	}
+	// Exactly MaxEstimators must still be accepted.
+	if _, err := c.AddThread(spec, ests[:MaxEstimators]); err != nil {
+		t.Fatalf("AddThread rejected %d estimators: %v", MaxEstimators, err)
+	}
+}

@@ -24,6 +24,10 @@ type ref struct {
 }
 
 // robEntry is one in-flight instruction.
+//
+// Slots are recycled by a field-wise reset in dispatch() (not a struct
+// literal, to skip re-zeroing contribs): a field added here must also be
+// reset there, or it leaks state from the slot's previous occupant.
 type robEntry struct {
 	valid bool
 	seq   uint64
@@ -44,8 +48,9 @@ type robEntry struct {
 	eligible    bool
 	issued      bool
 	done        bool
+	issuedAt    uint64 // cycle of (first) issue; see the re-issue note in issue()
 	pendingDeps int
-	waiters     []uint64
+	waiterHead  int32 // head of the intrusive waiter list (0 = empty)
 }
 
 // thread is one hardware context.
@@ -57,13 +62,17 @@ type thread struct {
 	ras    *branch.RAS
 	ests   []core.Estimator
 
-	rob  []robEntry
-	head uint64 // oldest in-flight seq
-	tail uint64 // next seq to allocate
+	rob  []robEntry // power-of-two length; see entry()
+	head uint64     // oldest in-flight seq
+	tail uint64     // next seq to allocate
+
+	waiterNodes []waiterNode // dependency-list arena; index 0 is a sentinel
+	waiterFree  int32        // free-list head (0 = empty)
 
 	onGoodpath     bool
 	fetchResume    uint64
-	pending        *workload.Instruction
+	pending        workload.Instruction // valid when hasPending
+	hasPending     bool
 	pendingBadpath bool
 	lastFetchBlock uint64
 
@@ -71,7 +80,10 @@ type thread struct {
 	quota uint64 // goodpath instruction budget for Run
 }
 
-func (t *thread) entry(seq uint64) *robEntry { return &t.rob[seq%uint64(len(t.rob))] }
+// entry maps a seq to its ROB slot. len(rob) is a power of two, so the
+// mask form both avoids a division and lets the compiler elide the bounds
+// check.
+func (t *thread) entry(seq uint64) *robEntry { return &t.rob[seq&uint64(len(t.rob)-1)] }
 
 func (t *thread) inFlight() int { return int(t.tail - t.head) }
 
@@ -90,9 +102,11 @@ type Core struct {
 	robCount   int
 	schedCount int
 
-	wheel     [wheelSize][]ref
-	arrival   [wheelSize][]ref
-	readyList []ref
+	wheel   [wheelSize][]ref
+	arrival [wheelSize][]ref
+	ready   readyQueue
+
+	fetchScratch []int // reused by fetch; never retained by choosers
 
 	gate   func() bool
 	choose func(cycle uint64, fetchable []int) int
@@ -126,12 +140,23 @@ func New(cfg Config) (*Core, error) {
 // AddThread attaches a workload and its path confidence estimators
 // (estimators observe only this thread). It returns the thread id.
 func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error) {
+	// Each robEntry holds a fixed [MaxEstimators]Contribution array;
+	// admitting more estimators would silently mis-index it.
 	if len(ests) > MaxEstimators {
-		return 0, fmt.Errorf("cpu: at most %d estimators per thread", MaxEstimators)
+		return 0, fmt.Errorf("cpu: %d estimators attached to thread %d, at most %d supported (robEntry.contribs is fixed-size)",
+			len(ests), len(c.threads), MaxEstimators)
 	}
 	w, err := workload.NewWalker(spec)
 	if err != nil {
 		return 0, err
+	}
+	// The ROB backing array is rounded up to a power of two so entry()
+	// maps seq to slot with a mask instead of a division (a measured
+	// kernel hotspot). Capacity is still bounded by cfg.ROBSize via
+	// robCount; the extra slots are never simultaneously live.
+	robLen := uint64(1)
+	for robLen < uint64(c.cfg.ROBSize) {
+		robLen <<= 1
 	}
 	t := &thread{
 		id:             len(c.threads),
@@ -139,7 +164,8 @@ func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error
 		ghr:            branch.NewHistory(8),
 		ras:            branch.NewRAS(c.cfg.RASDepth),
 		ests:           ests,
-		rob:            make([]robEntry, c.cfg.ROBSize),
+		rob:            make([]robEntry, robLen),
+		waiterNodes:    make([]waiterNode, 1, 2*c.cfg.ROBSize+1),
 		onGoodpath:     true,
 		lastFetchBlock: ^uint64(0),
 	}
@@ -154,7 +180,8 @@ func (c *Core) SetGate(gate func() bool) { c.gate = gate }
 
 // SetChooser installs the SMT fetch policy: given the cycle and the ids of
 // threads able to fetch, return the thread that gets the fetch bandwidth.
-// Nil means round-robin.
+// Nil means round-robin. The fetchable slice is a scratch buffer reused
+// across cycles; choosers must not retain it past the call.
 func (c *Core) SetChooser(choose func(cycle uint64, fetchable []int) int) { c.choose = choose }
 
 // SetProbe installs the instance probe: called after every fetch and
@@ -227,7 +254,13 @@ func (c *Core) RunCycles(n uint64) {
 }
 
 // Step simulates one cycle.
-func (c *Core) Step() {
+func (c *Core) Step() { c.tick() }
+
+// tick is the steady-state cycle loop: each stage fast-paths out when it
+// has no work this cycle, and none of them allocates once the wheel
+// buckets, ready queue, and waiter arenas have grown to their steady-state
+// sizes.
+func (c *Core) tick() {
 	for _, t := range c.threads {
 		for _, e := range t.ests {
 			e.Tick(c.cycle)

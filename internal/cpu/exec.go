@@ -30,38 +30,47 @@ func (c *Core) arrive() {
 		}
 		e.eligible = true
 		if e.pendingDeps == 0 {
-			c.readyList = append(c.readyList, r)
+			c.ready.push(r)
 		}
 	}
 }
 
 // issue moves up to FUCount ready instructions from the scheduler to the
 // function units, oldest first. Memory latency is resolved here, including
-// badpath cache pollution.
+// badpath cache pollution. The ready queue is age-sorted (see sched.go);
+// refs invalidated by squashes are discarded as they surface.
 func (c *Core) issue() {
-	// Drop refs invalidated by squashes.
-	live := c.readyList[:0]
-	for _, r := range c.readyList {
-		e := c.threads[r.tid].entry(r.seq)
-		if e.valid && e.seq == r.seq && e.inSched && e.eligible && !e.issued && e.pendingDeps == 0 {
-			live = append(live, r)
-		}
-	}
-	c.readyList = live
-	for fu := 0; fu < c.cfg.FUCount && len(c.readyList) > 0; fu++ {
-		best := 0
-		for i := 1; i < len(c.readyList); i++ {
-			if older(c.readyList[i], c.readyList[best]) {
-				best = i
+	for fu := 0; fu < c.cfg.FUCount && c.ready.len() > 0; fu++ {
+		var r ref
+		var t *thread
+		var e *robEntry
+		for {
+			r = c.ready.pop()
+			t = c.threads[r.tid]
+			e = t.entry(r.seq)
+			if e.valid && e.seq == r.seq && e.inSched && e.eligible && !e.issued && e.pendingDeps == 0 {
+				break
+			}
+			// Seed-kernel compatibility: the ready list can briefly hold
+			// two refs for one entry — after a squash rolls the tail back,
+			// a stale arrival-wheel ref for the same seq marks the
+			// re-dispatched instruction eligible early, and its real
+			// arrival then pushes a second ref. The seed's flat ready list
+			// validated refs only at the top of the cycle, so when both
+			// copies were among the oldest it issued the entry twice in
+			// one cycle (double-counting ExecutedGood/Bad, re-touching
+			// the cache, and decrementing schedCount twice). Reports are
+			// pinned byte-identical to the seed, so the duplicate is
+			// re-issued here exactly the same way instead of discarded.
+			if e.valid && e.seq == r.seq && e.issued && e.issuedAt == c.cycle {
+				break
+			}
+			if c.ready.len() == 0 {
+				return
 			}
 		}
-		r := c.readyList[best]
-		c.readyList[best] = c.readyList[len(c.readyList)-1]
-		c.readyList = c.readyList[:len(c.readyList)-1]
-
-		t := c.threads[r.tid]
-		e := t.entry(r.seq)
 		e.issued = true
+		e.issuedAt = c.cycle
 		e.inSched = false
 		c.schedCount--
 
@@ -110,18 +119,24 @@ func (c *Core) complete() {
 		}
 		e.done = true
 
-		// Wake dependents.
-		for _, ws := range e.waiters {
+		// Wake dependents, returning the list's nodes to the pool.
+		for n := e.waiterHead; n != 0; {
+			node := &t.waiterNodes[n]
+			ws := node.seq
+			next := node.next
+			node.next = t.waiterFree
+			t.waiterFree = n
+			n = next
 			w := t.entry(ws)
 			if !w.valid || w.seq != ws || w.pendingDeps == 0 {
 				continue
 			}
 			w.pendingDeps--
 			if w.pendingDeps == 0 && w.inSched && w.eligible && !w.issued {
-				c.readyList = append(c.readyList, ref{t.id, ws})
+				c.ready.push(ref{t.id, ws})
 			}
 		}
-		e.waiters = e.waiters[:0]
+		e.waiterHead = 0
 
 		if e.isControl {
 			c.resolveControl(t, e)
@@ -164,7 +179,7 @@ func (c *Core) resolveControl(t *thread, e *robEntry) {
 	if resume > t.fetchResume {
 		t.fetchResume = resume
 	}
-	t.pending = nil
+	t.hasPending = false
 	t.lastFetchBlock = ^uint64(0)
 
 	if !e.badpath {

@@ -7,12 +7,13 @@ import "paco/internal/workload"
 // at taken control flow, I-cache misses, or back-pressure from the ROB or
 // scheduler.
 func (c *Core) fetch() {
-	var fetchable []int
+	fetchable := c.fetchScratch[:0]
 	for _, t := range c.threads {
 		if c.cycle >= t.fetchResume && t.stats.RetiredGood < t.quota {
 			fetchable = append(fetchable, t.id)
 		}
 	}
+	c.fetchScratch = fetchable[:0]
 	if len(fetchable) == 0 {
 		return
 	}
@@ -50,9 +51,9 @@ func (c *Core) fetch() {
 // I-cache: crossing into a new block pays the fetch latency.
 func (c *Core) nextInstruction(t *thread) (workload.Instruction, bool) {
 	var ins workload.Instruction
-	if t.pending != nil {
-		ins = *t.pending
-		t.pending = nil
+	if t.hasPending {
+		ins = t.pending
+		t.hasPending = false
 		return ins, true
 	}
 	badpath := !t.onGoodpath
@@ -66,7 +67,8 @@ func (c *Core) nextInstruction(t *thread) (workload.Instruction, bool) {
 	if blk != t.lastFetchBlock {
 		t.lastFetchBlock = blk
 		if lat := c.mem.FetchLatency(ins.PC, badpath); lat > 0 {
-			t.pending = &ins
+			t.pending = ins
+			t.hasPending = true
 			t.pendingBadpath = badpath
 			t.fetchResume = c.cycle + lat
 			return workload.Instruction{}, false
@@ -84,13 +86,30 @@ func (c *Core) dispatch(t *thread, ins workload.Instruction) bool {
 	t.tail++
 	c.robCount++
 	e := t.entry(seq)
-	*e = robEntry{
-		valid:   true,
-		seq:     seq,
-		ins:     ins,
-		badpath: !t.onGoodpath,
-		waiters: e.waiters[:0],
-	}
+	// A squashed producer's waiter list survives until its slot is reused
+	// here; recycle the nodes before the entry is overwritten.
+	t.freeWaiters(e.waiterHead)
+	// Field-wise reset instead of a struct literal: contribs needs no
+	// zeroing (it is written at predictControl before any read), and
+	// skipping its 72-byte copy is measurable on this path.
+	e.valid = true
+	e.seq = seq
+	e.ins = ins
+	e.badpath = !t.onGoodpath
+	e.isControl = false
+	e.conditional = false
+	e.predTaken = false
+	e.mispredicted = false
+	e.histAtPred = 0
+	e.ghrCheckpoint = 0
+	e.mdc = 0
+	e.inSched = false
+	e.eligible = false
+	e.issued = false
+	e.done = false
+	e.issuedAt = 0
+	e.pendingDeps = 0
+	e.waiterHead = 0
 	if e.badpath {
 		t.stats.FetchedBad++
 	} else {
@@ -133,7 +152,7 @@ func (c *Core) trackDep(t *thread, e *robEntry, dist int) {
 	if !p.valid || p.seq != depSeq || p.done {
 		return
 	}
-	p.waiters = append(p.waiters, e.seq)
+	p.waiterHead = t.allocWaiter(e.seq, p.waiterHead)
 	e.pendingDeps++
 }
 

@@ -12,8 +12,13 @@ import (
 func (c *Core) retire() {
 	budget := c.cfg.RetireWidth
 	n := len(c.threads)
+	idx := int(c.cycle) % n
 	for i := 0; i < n && budget > 0; i++ {
-		t := c.threads[(int(c.cycle)+i)%n]
+		t := c.threads[idx]
+		idx++
+		if idx == n {
+			idx = 0
+		}
 		for budget > 0 && t.head < t.tail {
 			e := t.entry(t.head)
 			if !e.valid || e.seq != t.head || !e.done {

@@ -1,0 +1,92 @@
+package cpu
+
+// readyQueue is the scheduler's age-ordered ready structure: a slice kept
+// sorted oldest-first, consumed from the front. issue pops the global
+// oldest ready instruction in O(1) instead of the O(n) scan the seed's
+// flat list needed per function unit, and pushes are usually O(1) too —
+// newly arrived instructions carry the highest seq and append at the end;
+// only wakeups of older instructions pay an insertion memmove over the
+// few dozen live refs. Refs invalidated by squashes are discarded lazily
+// at pop, against the same validity predicate the flat list used, so the
+// issued instruction sequence is identical.
+type readyQueue struct {
+	refs  []ref
+	start int // refs[start:] is the live queue, oldest first
+}
+
+func (q *readyQueue) len() int { return len(q.refs) - q.start }
+
+func (q *readyQueue) push(r ref) {
+	// Slide the live window back to the front instead of growing past
+	// cap: once the backing array has reached the steady-state high-water
+	// mark, pushes never allocate again.
+	if len(q.refs) == cap(q.refs) && q.start > 0 {
+		n := copy(q.refs, q.refs[q.start:])
+		q.refs = q.refs[:n]
+		q.start = 0
+	}
+	// Common case: r is the youngest ref in the queue.
+	if n := len(q.refs); n == q.start || older(q.refs[n-1], r) {
+		q.refs = append(q.refs, r)
+		return
+	}
+	// Binary search for the first ref older than r; insert before it.
+	lo, hi := q.start, len(q.refs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if older(r, q.refs[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.refs = append(q.refs, ref{})
+	copy(q.refs[lo+1:], q.refs[lo:])
+	q.refs[lo] = r
+}
+
+func (q *readyQueue) pop() ref {
+	r := q.refs[q.start]
+	q.start++
+	if q.start == len(q.refs) {
+		q.refs = q.refs[:0]
+		q.start = 0
+	}
+	return r
+}
+
+// waiterNode is one link of a producer's intrusive dependency list. Nodes
+// live in a per-thread arena recycled through a free list: registering or
+// waking a dependence edge never allocates once the arena has grown to the
+// thread's steady-state edge population (at most two edges per in-flight
+// instruction, so roughly 2xROB entries).
+//
+// Index 0 is a reserved sentinel meaning "no node", so the zero value of
+// robEntry.waiterHead is an empty list.
+type waiterNode struct {
+	seq  uint64 // the waiting instruction
+	next int32  // next node in the same producer's list (0 = end)
+}
+
+// allocWaiter takes a node from the free list (growing the arena when
+// empty) and links it in front of next.
+func (t *thread) allocWaiter(seq uint64, next int32) int32 {
+	idx := t.waiterFree
+	if idx != 0 {
+		t.waiterFree = t.waiterNodes[idx].next
+		t.waiterNodes[idx] = waiterNode{seq: seq, next: next}
+		return idx
+	}
+	t.waiterNodes = append(t.waiterNodes, waiterNode{seq: seq, next: next})
+	return int32(len(t.waiterNodes) - 1)
+}
+
+// freeWaiters returns a whole list to the free pool.
+func (t *thread) freeWaiters(head int32) {
+	for head != 0 {
+		next := t.waiterNodes[head].next
+		t.waiterNodes[head].next = t.waiterFree
+		t.waiterFree = head
+		head = next
+	}
+}

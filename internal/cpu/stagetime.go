@@ -1,0 +1,70 @@
+package cpu
+
+import "time"
+
+// StageTimes accumulates wall-clock time per pipeline stage across
+// StepTimed calls. The perf harness uses it to attribute kernel cost to
+// stages; the instrumentation overhead (two clock reads per stage) makes
+// StepTimed slower than Step, so throughput is measured separately with
+// the untimed loop and StageTimes supplies only the relative breakdown.
+type StageTimes struct {
+	Estimators time.Duration
+	Complete   time.Duration
+	Arrive     time.Duration
+	Issue      time.Duration
+	Retire     time.Duration
+	Fetch      time.Duration
+	Cycles     uint64
+}
+
+// Total returns the summed stage time.
+func (st *StageTimes) Total() time.Duration {
+	return st.Estimators + st.Complete + st.Arrive + st.Issue + st.Retire + st.Fetch
+}
+
+// Fractions returns each stage's share of the summed stage time, keyed by
+// stage name. An empty map is returned when nothing was measured.
+func (st *StageTimes) Fractions() map[string]float64 {
+	total := st.Total()
+	if total <= 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"estimators": float64(st.Estimators) / float64(total),
+		"complete":   float64(st.Complete) / float64(total),
+		"arrive":     float64(st.Arrive) / float64(total),
+		"issue":      float64(st.Issue) / float64(total),
+		"retire":     float64(st.Retire) / float64(total),
+		"fetch":      float64(st.Fetch) / float64(total),
+	}
+}
+
+// StepTimed simulates one cycle like Step, accumulating per-stage wall
+// time into st.
+func (c *Core) StepTimed(st *StageTimes) {
+	t0 := time.Now()
+	for _, t := range c.threads {
+		for _, e := range t.ests {
+			e.Tick(c.cycle)
+		}
+	}
+	t1 := time.Now()
+	st.Estimators += t1.Sub(t0)
+	c.complete()
+	t2 := time.Now()
+	st.Complete += t2.Sub(t1)
+	c.arrive()
+	t3 := time.Now()
+	st.Arrive += t3.Sub(t2)
+	c.issue()
+	t4 := time.Now()
+	st.Issue += t4.Sub(t3)
+	c.retire()
+	t5 := time.Now()
+	st.Retire += t5.Sub(t4)
+	c.fetch()
+	st.Fetch += time.Since(t5)
+	c.cycle++
+	c.stats.Cycles++
+	st.Cycles++
+}

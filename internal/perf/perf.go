@@ -1,0 +1,259 @@
+// Package perf is the kernel throughput harness: it measures how fast the
+// simulator simulates — simulated kcycles per wall second, heap
+// allocations per cycle, and the per-stage cost breakdown — and records
+// the numbers as a JSON baseline (BENCH_kernel.json) so kernel speed is a
+// continuously measured quantity with a trajectory, not a guess. Every
+// accuracy experiment runs dozens of cycle-accurate simulations per
+// figure; single-core kernel throughput is the floor under all of them.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/workload"
+)
+
+// Schema identifies the report format.
+const Schema = "paco-bench/v1"
+
+// Options configures one kernel measurement.
+type Options struct {
+	// WarmupCycles are simulated before measurement so ready queues,
+	// wheel buckets, waiter arenas, caches, and predictors reach steady
+	// state. Zero selects a default.
+	WarmupCycles uint64
+	// MeasureCycles are simulated under the clock. Zero selects a
+	// default.
+	MeasureCycles uint64
+	// StageCycles are simulated with per-stage instrumentation for the
+	// breakdown (slower per cycle; kept separate from the throughput
+	// measurement). Zero selects a default.
+	StageCycles uint64
+	// SMT attaches a second thread (twolf) and uses the SMT machine.
+	SMT bool
+}
+
+func (o *Options) defaults() {
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 300_000
+	}
+	if o.MeasureCycles == 0 {
+		o.MeasureCycles = 1_000_000
+	}
+	if o.StageCycles == 0 {
+		o.StageCycles = 200_000
+	}
+}
+
+// KernelResult is one measured configuration.
+type KernelResult struct {
+	// Name labels the configuration (benchmark name, "+smt" suffix for
+	// the two-thread machine).
+	Name string `json:"name"`
+	// Cycles is the number of simulated cycles measured.
+	Cycles uint64 `json:"cycles"`
+	// Instructions is the number of goodpath instructions retired during
+	// measurement.
+	Instructions uint64 `json:"instructions"`
+	// WallSeconds is the measured wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// KCyclesPerSec is simulated kilocycles per wall second — the
+	// headline kernel throughput number.
+	KCyclesPerSec float64 `json:"kcycles_per_sec"`
+	// KInstrsPerSec is retired goodpath kilo-instructions per wall
+	// second.
+	KInstrsPerSec float64 `json:"kinstrs_per_sec"`
+	// AllocsPerCycle is heap allocations per simulated cycle (0 in
+	// steady state since the allocation-free kernel refactor).
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	// BytesPerCycle is heap bytes allocated per simulated cycle.
+	BytesPerCycle float64 `json:"bytes_per_cycle"`
+	// IPC is the simulated machine's own instructions per cycle (a
+	// sanity check that the measured window did real work).
+	IPC float64 `json:"ipc"`
+	// Stages is each pipeline stage's fraction of kernel time, from a
+	// separate instrumented run.
+	Stages map[string]float64 `json:"stages,omitempty"`
+}
+
+// Report is the full bench artifact.
+type Report struct {
+	Schema    string         `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Results   []KernelResult `json:"results"`
+	// Baseline, when present, is the report this run is compared
+	// against (typically the committed pre-refactor numbers).
+	Baseline *Report `json:"baseline,omitempty"`
+	// SpeedupKCycles is the geometric-mean kcycles/sec ratio of Results
+	// over Baseline.Results for configurations present in both. Zero
+	// when no baseline is attached.
+	SpeedupKCycles float64 `json:"speedup_kcycles,omitempty"`
+}
+
+// buildCore assembles the measured configuration: the benchmark workload
+// with one PaCo estimator — the shape every accuracy experiment runs.
+func buildCore(bench string, smt bool) (*cpu.Core, error) {
+	cfg := cpu.DefaultConfig()
+	if smt {
+		cfg = cpu.SMTConfig()
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.NewBenchmark(bench)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.AddThread(spec, []core.Estimator{core.NewPaCo(core.PaCoConfig{})}); err != nil {
+		return nil, err
+	}
+	if smt {
+		spec2, err := workload.NewBenchmark("twolf")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.AddThread(spec2, []core.Estimator{core.NewPaCo(core.PaCoConfig{})}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// retiredGood sums goodpath retirement over all threads.
+func retiredGood(c *cpu.Core) uint64 {
+	var n uint64
+	for tid := 0; tid < c.Threads(); tid++ {
+		n += c.ThreadStats(tid).RetiredGood
+	}
+	return n
+}
+
+// MeasureKernel runs one configuration and returns its result.
+func MeasureKernel(bench string, opts Options) (KernelResult, error) {
+	opts.defaults()
+	c, err := buildCore(bench, opts.SMT)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	name := bench
+	if opts.SMT {
+		name += "+smt"
+	}
+
+	c.RunCycles(opts.WarmupCycles)
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	retiredBefore := retiredGood(c)
+	start := time.Now()
+	c.RunCycles(opts.MeasureCycles)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&msAfter)
+	retired := retiredGood(c) - retiredBefore
+
+	res := KernelResult{
+		Name:           name,
+		Cycles:         opts.MeasureCycles,
+		Instructions:   retired,
+		WallSeconds:    wall,
+		KCyclesPerSec:  float64(opts.MeasureCycles) / wall / 1e3,
+		KInstrsPerSec:  float64(retired) / wall / 1e3,
+		AllocsPerCycle: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(opts.MeasureCycles),
+		BytesPerCycle:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(opts.MeasureCycles),
+		IPC:            float64(retired) / float64(opts.MeasureCycles),
+	}
+
+	// Separate instrumented pass for the stage breakdown.
+	var st cpu.StageTimes
+	for i := uint64(0); i < opts.StageCycles; i++ {
+		c.StepTimed(&st)
+	}
+	res.Stages = st.Fractions()
+	return res, nil
+}
+
+// MeasureAll measures every named benchmark, plus an SMT configuration
+// when smt is set.
+func MeasureAll(benches []string, smt bool, opts Options) (*Report, error) {
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("perf: no benchmarks to measure")
+	}
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, b := range benches {
+		r, err := MeasureKernel(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if smt {
+		smtOpts := opts
+		smtOpts.SMT = true
+		r, err := MeasureKernel(benches[0], smtOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// AttachBaseline links a prior report and computes the geometric-mean
+// kcycles/sec speedup over configurations present in both reports.
+func (r *Report) AttachBaseline(base *Report) {
+	r.Baseline = base
+	r.SpeedupKCycles = 0
+	byName := make(map[string]KernelResult, len(base.Results))
+	for _, b := range base.Results {
+		byName[b.Name] = b
+	}
+	logSum, n := 0.0, 0
+	for _, cur := range r.Results {
+		b, ok := byName[cur.Name]
+		if !ok || b.KCyclesPerSec <= 0 || cur.KCyclesPerSec <= 0 {
+			continue
+		}
+		logSum += math.Log(cur.KCyclesPerSec / b.KCyclesPerSec)
+		n++
+	}
+	if n > 0 {
+		r.SpeedupKCycles = math.Exp(logSum / float64(n))
+	}
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: unknown schema %q (want %q)", r.Schema, Schema)
+	}
+	return &r, nil
+}

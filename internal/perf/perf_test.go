@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// quickOpts keeps test runtime in the tens of milliseconds.
+func quickOpts() Options {
+	return Options{WarmupCycles: 5_000, MeasureCycles: 20_000, StageCycles: 5_000}
+}
+
+func TestMeasureKernel(t *testing.T) {
+	r, err := MeasureKernel("gzip", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "gzip" || r.Cycles != 20_000 {
+		t.Fatalf("unexpected result header: %+v", r)
+	}
+	if r.KCyclesPerSec <= 0 || r.WallSeconds <= 0 {
+		t.Fatalf("throughput not measured: %+v", r)
+	}
+	if r.IPC <= 0.1 || r.IPC > 8 {
+		t.Fatalf("implausible simulated IPC %.3f", r.IPC)
+	}
+	var sum float64
+	for _, f := range r.Stages {
+		if f < 0 || f > 1 {
+			t.Fatalf("stage fraction out of range: %v", r.Stages)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stage fractions sum to %.6f, want 1", sum)
+	}
+}
+
+func TestReportRoundTripAndSpeedup(t *testing.T) {
+	rep, err := MeasureAll([]string{"gzip"}, false, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Report{
+		Schema: Schema,
+		Results: []KernelResult{
+			{Name: "gzip", KCyclesPerSec: rep.Results[0].KCyclesPerSec / 2},
+			{Name: "absent", KCyclesPerSec: 1},
+		},
+	}
+	rep.AttachBaseline(base)
+	if math.Abs(rep.SpeedupKCycles-2) > 1e-9 {
+		t.Fatalf("speedup = %.4f, want 2", rep.SpeedupKCycles)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SpeedupKCycles != rep.SpeedupKCycles || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+	if back.Baseline == nil || len(back.Baseline.Results) != 2 {
+		t.Fatalf("baseline lost in round trip")
+	}
+}
+
+func TestReadReportRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadReport(bytes.NewReader([]byte(`{"schema":"bogus/v9"}`))); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestMeasureKernelUnknownBenchmark(t *testing.T) {
+	if _, err := MeasureKernel("not-a-benchmark", quickOpts()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// WithProfiles runs fn with optional CPU and heap profiling: the CLIs all
+// take -cpuprofile/-memprofile so perf work starts from a profile, not a
+// guess. Either path may be empty to skip that profile. The heap profile
+// is a post-run snapshot of the live heap and is written even when fn
+// fails — an hours-long sweep that returns a partial-failure error has
+// still done the work worth profiling. fn's error takes precedence over
+// profile-writing errors.
+func WithProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	runErr := fn()
+	if memPath != "" {
+		if err := writeHeapProfile(memPath); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize the live heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

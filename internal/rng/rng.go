@@ -61,11 +61,16 @@ func (r *RNG) Uint32() uint32 {
 	return bits.RotateLeft32(xorshifted, -int(rot))
 }
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits: two Uint32 draws
+// with the generator steps fused so the whole function stays inlinable
+// (the simulator kernel draws in hot per-instruction loops).
 func (r *RNG) Uint64() uint64 {
-	hi := uint64(r.Uint32())
-	lo := uint64(r.Uint32())
-	return hi<<32 | lo
+	s1 := r.state
+	s2 := s1*pcgMultiplier + r.inc
+	r.state = s2*pcgMultiplier + r.inc
+	hi := bits.RotateLeft32(uint32(((s1>>18)^s1)>>27), -int(s1>>59))
+	lo := bits.RotateLeft32(uint32(((s2>>18)^s2)>>27), -int(s2>>59))
+	return uint64(hi)<<32 | uint64(lo)
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
@@ -111,6 +116,13 @@ func (r *RNG) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// boolOpen is Bool for p already known to lie in (0, 1): the same single
+// Float64 draw without the range branches, small enough to inline into
+// per-instruction loops.
+func (r *RNG) boolOpen(p float64) bool {
+	return r.Float64() < p
+}
+
 // Geometric returns a sample from a geometric distribution with success
 // probability p, i.e. the number of failures before the first success.
 // For p <= 0 it returns a large bounded value instead of blocking.
@@ -122,7 +134,7 @@ func (r *RNG) Geometric(p float64) int {
 		return 1 << 20
 	}
 	n := 0
-	for !r.Bool(p) {
+	for !r.boolOpen(p) {
 		n++
 		if n >= 1<<20 {
 			break

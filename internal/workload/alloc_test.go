@@ -1,0 +1,49 @@
+package workload
+
+import "testing"
+
+// TestWalkerNextZeroAllocs pins goodpath stream generation to zero heap
+// allocations in steady state (the call stack clamp must slide in place,
+// never re-slice off the front of its backing array).
+func TestWalkerNextZeroAllocs(t *testing.T) {
+	spec, err := NewBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100_000; i++ {
+		w.Next()
+	}
+	allocs := testing.AllocsPerRun(100_000, func() {
+		w.Next()
+	})
+	if allocs != 0 {
+		t.Fatalf("Walker.Next allocates %.4f times per instruction, want 0", allocs)
+	}
+}
+
+// TestWrongPathNextZeroAllocs pins badpath generation likewise.
+func TestWrongPathNextZeroAllocs(t *testing.T) {
+	spec, err := NewBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := NewWrongPath(w)
+	wp.Redirect(0x4000)
+	allocs := testing.AllocsPerRun(50_000, func() {
+		ins := wp.Next()
+		if ins.Kind == KindBranch {
+			wp.ResolveBranch(&ins, true)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WrongPath.Next allocates %.4f times per instruction, want 0", allocs)
+	}
+}

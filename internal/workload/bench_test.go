@@ -1,0 +1,46 @@
+package workload
+
+import "testing"
+
+// BenchmarkWalkerNext measures the per-instruction cost of goodpath stream
+// generation.
+func BenchmarkWalkerNext(b *testing.B) {
+	spec, err := NewBenchmark("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWalker(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		w.Next() // reach steady state (call stack at depth, phases warm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next()
+	}
+}
+
+// BenchmarkWrongPathNext measures badpath stream generation.
+func BenchmarkWrongPathNext(b *testing.B) {
+	spec, err := NewBenchmark("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWalker(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wp := NewWrongPath(w)
+	wp.Redirect(0x1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins := wp.Next()
+		if ins.Kind == KindBranch {
+			wp.ResolveBranch(&ins, i%2 == 0)
+		}
+	}
+}

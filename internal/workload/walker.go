@@ -2,6 +2,10 @@ package workload
 
 import "paco/internal/rng"
 
+// maxCallDepth bounds the walker's return-address stack; deeper call
+// chains discard their oldest frames (matching a clamped hardware RAS).
+const maxCallDepth = 64
+
 // Walker produces the goodpath dynamic instruction stream of a benchmark by
 // walking its control-flow graph. It is only advanced for goodpath fetches;
 // when the simulator recovers from a misprediction it resumes exactly where
@@ -32,10 +36,11 @@ func NewWalker(spec *Spec) (*Walker, error) {
 	}
 	r := rng.NewStream(spec.Seed, 0x5eed)
 	w := &Walker{
-		spec:   spec,
-		prog:   build(spec, r),
-		r:      r.Fork(),
-		wsMask: nextPow2u(uint64(spec.WorkingSetKB)*1024) - 1,
+		spec:      spec,
+		prog:      build(spec, r),
+		r:         r.Fork(),
+		wsMask:    nextPow2u(uint64(spec.WorkingSetKB)*1024) - 1,
+		callStack: make([]int, 0, maxCallDepth),
 	}
 	w.ctx = globalCtx{
 		stormEnter: spec.StormEnter,
@@ -110,8 +115,11 @@ func (w *Walker) depP() float64 {
 
 // depDist samples one dependence distance: a third of values are
 // independent (zero), the rest geometric — wide enough for realistic ILP.
+// The independence draw compares an inlined Float64 against the constant
+// directly (exactly what Bool does for an in-range p) — this runs once or
+// twice per simulated instruction.
 func (w *Walker) depDist() int {
-	if w.r.Bool(0.3) {
+	if w.r.Float64() < 0.3 {
 		return 0
 	}
 	return 1 + w.r.Geometric(w.depP())
@@ -144,10 +152,15 @@ func (w *Walker) terminatorInstr(blk *block) Instruction {
 		w.blockIdx = t.takenBlk
 		ins.NextPC = w.region[w.blockIdx].pc
 	case KindCall:
-		w.callStack = append(w.callStack, t.fallBlk)
-		if len(w.callStack) > 64 {
-			w.callStack = w.callStack[len(w.callStack)-64:]
+		// Clamp by sliding in place rather than re-slicing off the front:
+		// the backing array keeps its full capacity, so pushes never
+		// reallocate in steady state. Contents match the seed's behaviour
+		// (the deepest maxCallDepth return sites are retained).
+		if len(w.callStack) >= maxCallDepth {
+			copy(w.callStack, w.callStack[len(w.callStack)-maxCallDepth+1:])
+			w.callStack = w.callStack[:maxCallDepth-1]
 		}
+		w.callStack = append(w.callStack, t.fallBlk)
 		w.blockIdx = t.takenBlk
 		ins.NextPC = w.region[w.blockIdx].pc
 	case KindReturn:

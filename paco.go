@@ -36,6 +36,7 @@ import (
 	"paco/internal/cpu"
 	"paco/internal/experiments"
 	"paco/internal/gating"
+	"paco/internal/perf"
 	"paco/internal/smt"
 	"paco/internal/workload"
 )
@@ -212,4 +213,28 @@ func ReadCampaignJSON(r io.Reader) ([]CampaignResult, error) {
 
 func WriteCampaignCSV(w io.Writer, results []CampaignResult) error {
 	return campaign.WriteCSV(w, results)
+}
+
+// Kernel throughput harness (see internal/perf and EXPERIMENTS.md):
+// measures how fast the simulator simulates — simulated kcycles per wall
+// second, allocations per cycle, per-stage breakdown — producing the
+// BENCH_kernel.json baseline artifact.
+type (
+	// BenchOptions configures one kernel measurement.
+	BenchOptions = perf.Options
+	// BenchResult is one measured kernel configuration.
+	BenchResult = perf.KernelResult
+	// BenchReport is the full paco-bench/v1 artifact.
+	BenchReport = perf.Report
+)
+
+// MeasureKernel measures simulator throughput on one benchmark workload.
+func MeasureKernel(benchmark string, opts BenchOptions) (BenchResult, error) {
+	return perf.MeasureKernel(benchmark, opts)
+}
+
+// MeasureKernels measures several benchmarks (plus an SMT configuration
+// when smt is set) into one report.
+func MeasureKernels(benchmarks []string, smt bool, opts BenchOptions) (*BenchReport, error) {
+	return perf.MeasureAll(benchmarks, smt, opts)
 }
