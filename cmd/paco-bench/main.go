@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"paco/internal/perf"
+	"paco/internal/version"
 )
 
 func main() {
@@ -42,8 +43,13 @@ func run() error {
 	baseline := flag.String("baseline", "", "prior report to compare against (its own baseline is dropped)")
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to a file")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
 
+	if *showVersion {
+		version.Fprint(os.Stdout, "paco-bench")
+		return nil
+	}
 	var base *perf.Report
 	if *baseline != "" {
 		f, err := os.Open(*baseline)

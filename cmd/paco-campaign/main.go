@@ -40,12 +40,8 @@ import (
 	"time"
 
 	"paco/internal/campaign"
-	"paco/internal/core"
-	"paco/internal/cpu"
-	"paco/internal/gating"
-	"paco/internal/metrics"
 	"paco/internal/perf"
-	"paco/internal/workload"
+	"paco/internal/version"
 )
 
 func main() {
@@ -71,49 +67,43 @@ func run() error {
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to a file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to a file")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
 
+	if *showVersion {
+		version.Fprint(os.Stdout, "paco-campaign")
+		return nil
+	}
 	if *format != "json" && *format != "csv" {
 		return fmt.Errorf("unknown -format %q (json or csv)", *format)
 	}
-	names := workload.BenchmarkNames
-	if *benchmarks != "all" {
-		names = strings.Split(*benchmarks, ",")
-		for _, n := range names {
-			if _, err := workload.NewBenchmark(n); err != nil {
-				return err
-			}
-		}
-	}
-	refreshList, err := parseUints(*refreshes)
-	if err != nil {
-		return fmt.Errorf("-refresh: %w", err)
-	}
-	widthList, err := parseInts(*widths)
-	if err != nil {
-		return fmt.Errorf("-widths: %w", err)
+	// Grid.Normalized maps gate-count 0 to the default; reject it here so
+	// an explicit -gatecount 0 errors instead of silently becoming 3.
+	if *gateCount <= 0 {
+		return fmt.Errorf("-gatecount must be >= 1, got %d", *gateCount)
 	}
 
-	// Gating axis: ungated, PaCo targets, and/or conventional cells.
-	type gateCfg struct {
-		label string
-		mk    func(refresh uint64) gating.Gate // nil = ungated
+	// The flags assemble a campaign.Grid — the same declarative sweep
+	// spec paco-serve accepts as a POST /v1/jobs body.
+	grid := campaign.Grid{
+		Instructions: *instructions,
+		Warmup:       *warmup,
+		GateCount:    *gateCount,
+		Seed:         *seed,
 	}
-	var gates []gateCfg
-	if *probGates == "" && *thresholds == "" {
-		gates = append(gates, gateCfg{label: "ungated"})
+	if *benchmarks != "all" {
+		grid.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	var err error
+	if grid.Refresh, err = parseUints(*refreshes); err != nil {
+		return fmt.Errorf("-refresh: %w", err)
+	}
+	if grid.Widths, err = parseInts(*widths); err != nil {
+		return fmt.Errorf("-widths: %w", err)
 	}
 	if *probGates != "" {
-		targets, err := parseFloats(*probGates)
-		if err != nil {
+		if grid.ProbGates, err = parseFloats(*probGates); err != nil {
 			return fmt.Errorf("-probgates: %w", err)
-		}
-		for _, p := range targets {
-			p := p
-			gates = append(gates, gateCfg{
-				label: fmt.Sprintf("prob%g", p),
-				mk:    func(refresh uint64) gating.Gate { return gating.NewProbGate(p, refresh) },
-			})
 		}
 	}
 	if *thresholds != "" {
@@ -122,66 +112,14 @@ func run() error {
 			return fmt.Errorf("-thresholds: %w", err)
 		}
 		for _, thr := range thrs {
-			thr, gc := uint32(thr), *gateCount
-			gates = append(gates, gateCfg{
-				label: fmt.Sprintf("thr%d-gate%d", thr, gc),
-				mk:    func(uint64) gating.Gate { return gating.NewCountGate(thr, gc) },
-			})
+			grid.Thresholds = append(grid.Thresholds, uint32(thr))
 		}
 	}
-
-	// The grid: benchmark x refresh x width x gate.
-	var campaignJobs []campaign.Job
-	for _, name := range names {
-		for _, refresh := range refreshList {
-			for _, width := range widthList {
-				machine := cpu.DefaultConfig()
-				machine.FetchWidth = width
-				machine.RetireWidth = width
-				machine.FUCount = width
-				for _, gc := range gates {
-					refresh, gc, machine := refresh, gc, machine
-					campaignJobs = append(campaignJobs, campaign.Job{
-						ID:           fmt.Sprintf("%s/refresh=%d/width=%d/%s", name, refresh, width, gc.label),
-						Benchmark:    name,
-						Instructions: *instructions,
-						Warmup:       *warmup,
-						Machine:      &machine,
-						Seed:         *seed,
-						Setup: func() campaign.Hooks {
-							rel := &metrics.Reliability{}
-							hooks := campaign.Hooks{
-								Collect: func(res *campaign.Result, _ *cpu.Core, _ int) {
-									res.SetExtra("rms_error", rel.RMSError())
-									res.SetExtra("probe_instances", float64(rel.Instances()))
-								},
-							}
-							var paco *core.PaCo
-							if gc.mk != nil {
-								g := gc.mk(refresh)
-								hooks.Gate = g.ShouldGate
-								if pg, ok := g.(*gating.ProbGate); ok {
-									paco = pg.PaCo()
-									hooks.Estimators = []core.Estimator{paco}
-								} else {
-									// Conventional gate: measure PaCo alongside it.
-									paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
-									hooks.Estimators = []core.Estimator{g.Estimator(), paco}
-								}
-							} else {
-								paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
-								hooks.Estimators = []core.Estimator{paco}
-							}
-							hooks.Probe = func(_ int, onGood bool) {
-								rel.Add(paco.GoodpathProb(), onGood)
-							}
-							return hooks
-						},
-					})
-				}
-			}
-		}
+	grid, err = grid.Normalized()
+	if err != nil {
+		return err
 	}
+	campaignJobs := grid.Jobs()
 
 	// Create the output file before the sweep so an unwritable path
 	// fails in milliseconds, not after hours of simulation.

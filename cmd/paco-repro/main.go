@@ -20,14 +20,20 @@ import (
 	"time"
 
 	"paco/internal/experiments"
+	"paco/internal/version"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use the small test-scale configuration")
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
 
+	if *showVersion {
+		version.Fprint(os.Stdout, "paco-repro")
+		return
+	}
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()

@@ -1,0 +1,139 @@
+// Command paco-serve runs the simulation service: an HTTP/JSON front end
+// over the campaign engine with a content-addressed result cache, so
+// repeated identical configurations never re-simulate.
+//
+// Usage:
+//
+//	paco-serve [flags]
+//
+// Endpoints:
+//
+//	POST /v1/jobs                 submit a run or sweep (campaign.Grid JSON)
+//	GET  /v1/jobs/{id}            job status + results
+//	GET  /v1/jobs/{id}/events     SSE progress stream
+//	GET  /v1/experiments/{name}   paper figure/table, byte-identical to the CLI
+//	GET  /metrics                 Prometheus text metrics
+//	GET  /healthz                 liveness + build stamp
+//
+// Examples:
+//
+//	# serve on :8344 with a 128 MiB cache persisted across restarts
+//	paco-serve -cache-mb 128 -cache-dir /var/cache/paco
+//
+//	# submit a sweep and read it back
+//	curl -s localhost:8344/v1/jobs -d '{"benchmarks":["gzip","twolf"]}'
+//	curl -s localhost:8344/v1/jobs/j-000001
+//	curl -N localhost:8344/v1/jobs/j-000001/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paco/internal/experiments"
+	"paco/internal/server"
+	"paco/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paco-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+	jobWorkers := flag.Int("jobworkers", 2, "campaigns executing concurrently")
+	simWorkers := flag.Int("j", 0, "campaign worker pool per job (0 = GOMAXPROCS)")
+	queueSize := flag.Int("queue", 64, "bounded job queue size")
+	cacheMB := flag.Int64("cache-mb", 64, "content-addressed cache budget in MiB")
+	cacheDir := flag.String("cache-dir", "", "persist cache entries to this directory")
+	quick := flag.Bool("quick", false, "serve /v1/experiments at the small test-scale configuration")
+	portFile := flag.String("portfile", "", "write the bound address to this file once listening")
+	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
+	flag.Parse()
+
+	if *showVersion {
+		version.Fprint(os.Stdout, "paco-serve")
+		return nil
+	}
+
+	cfg := server.Config{
+		JobWorkers: *jobWorkers,
+		SimWorkers: *simWorkers,
+		QueueSize:  *queueSize,
+		CacheBytes: *cacheMB << 20,
+		CacheDir:   *cacheDir,
+	}
+	if *quick {
+		q := experiments.Quick()
+		cfg.Experiments = &q
+	}
+	logger := log.New(os.Stderr, "paco-serve: ", log.LstdFlags)
+	if !*quiet {
+		cfg.Log = logger
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	logger.Printf("%s listening on %s (experiments: %s scale)",
+		version.Get(), bound, map[bool]string{false: "full", true: "quick"}[*quick])
+
+	httpServer := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, cancel
+	// in-flight campaigns, and give connections a moment to flush.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case sig := <-sigCh:
+		logger.Printf("received %v; draining", sig)
+		s.Close()
+		// Shutdown (not Close) lets in-flight responses — including SSE
+		// streams, which terminate once s.Close settles their jobs —
+		// finish; the timeout caps how long a stuck client can hold the
+		// process.
+		httpServer.SetKeepAlivesEnabled(false)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr := httpServer.Shutdown(ctx)
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return shutdownErr
+	}
+}

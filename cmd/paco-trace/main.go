@@ -19,6 +19,7 @@ import (
 	"paco/internal/core"
 	"paco/internal/cpu"
 	"paco/internal/trace"
+	"paco/internal/version"
 	"paco/internal/workload"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		err = record(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "-version", "--version":
+		version.Fprint(os.Stdout, "paco-trace")
 	default:
 		usage()
 	}

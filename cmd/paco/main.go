@@ -21,6 +21,7 @@ import (
 
 	"paco/internal/experiments"
 	"paco/internal/perf"
+	"paco/internal/version"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func main() {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if name == "-version" || name == "--version" {
+		version.Fprint(os.Stdout, "paco")
 		return
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancellationDrainsWorkers cancels a campaign mid-flight and
+// asserts (a) Run returns ctx.Err with every unstarted job marked
+// Skipped, (b) the Snapshot counters settle at done == total, and (c)
+// the worker goroutines all exit — no leak, measured by goroutine
+// count returning to its pre-campaign level. Run under -race in CI.
+func TestCancellationDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const total = 32
+	var started atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job, total)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			ID: "slow",
+			Exec: func(ctx context.Context) (*Result, error) {
+				started.Add(1)
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+				return &Result{Benchmark: "slow", Cycles: uint64(i)}, nil
+			},
+		}
+	}
+
+	r := &Runner{Workers: 4}
+	errCh := make(chan error, 1)
+	resCh := make(chan []Result, 1)
+	go func() {
+		results, err := r.Run(ctx, jobs)
+		resCh <- results
+		errCh <- err
+	}()
+
+	// Wait until the pool is actually executing, then cancel mid-campaign
+	// and release the in-flight jobs.
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+
+	results := <-resCh
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if snap := r.Snapshot(); snap.Queued != 0 || snap.Running != 0 || snap.Done != total {
+		t.Fatalf("post-cancel snapshot = %+v, want all %d done", snap, total)
+	}
+	var skippedN int
+	for i := range results {
+		if results[i].Skipped {
+			skippedN++
+		}
+	}
+	if skippedN == 0 || skippedN == total {
+		t.Fatalf("skipped = %d of %d, want a mid-campaign cancellation", skippedN, total)
+	}
+
+	// The pool must drain: poll until the goroutine count returns to the
+	// pre-campaign level (with a little scheduler slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the count
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: before=%d now=%d", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSnapshotDuringRun watches the counters while a campaign is in
+// flight: queued+running+done always sums to the campaign size.
+func TestSnapshotDuringRun(t *testing.T) {
+	const total = 8
+	release := make(chan struct{})
+	var started atomic.Int32
+	jobs := make([]Job, total)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID: "gate",
+			Exec: func(ctx context.Context) (*Result, error) {
+				started.Add(1)
+				<-release
+				return &Result{}, nil
+			},
+		}
+	}
+	r := &Runner{Workers: 2}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Run(context.Background(), jobs); err != nil {
+			t.Error(err)
+		}
+	}()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if snap.Queued+snap.Running+snap.Done != total {
+		t.Fatalf("snapshot does not sum to campaign size: %+v", snap)
+	}
+	if snap.Running == 0 {
+		t.Fatalf("snapshot shows no running jobs mid-flight: %+v", snap)
+	}
+	close(release)
+	<-done
+	if snap := r.Snapshot(); snap != (Snapshot{Done: total}) {
+		t.Fatalf("final snapshot = %+v, want {0 0 %d}", snap, total)
+	}
+}

@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"fmt"
+
+	"paco/internal/core"
+	"paco/internal/cpu"
+	"paco/internal/gating"
+	"paco/internal/metrics"
+	"paco/internal/workload"
+)
+
+// Grid is the declarative, serializable description of a configuration
+// sweep: the cross product of benchmarks, MRT refresh periods, machine
+// widths, and gating schemes, one simulation job per cell. It is the
+// shared spec behind cmd/paco-campaign's flags and paco-serve's POST
+// /v1/jobs body — and because a Grid is plain data, a normalized Grid
+// canonicalizes to stable JSON, which is what the server's
+// content-addressed result cache hashes.
+//
+// Every cell attaches a PaCo estimator with a reliability probe, so each
+// result carries the predictor's RMS error (Extra keys "rms_error" and
+// "probe_instances") alongside IPC and the path/mispredict counters.
+type Grid struct {
+	// Benchmarks are the workload models to sweep; empty selects the
+	// paper's full benchmark list.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Instructions and Warmup size each cell's measured window and
+	// discarded warmup (0 selects the defaults, 600k/200k).
+	Instructions uint64 `json:"instructions,omitempty"`
+	Warmup       uint64 `json:"warmup,omitempty"`
+
+	// Refresh lists PaCo MRT refresh periods in cycles (empty selects
+	// the paper's 200,000).
+	Refresh []uint64 `json:"refresh,omitempty"`
+
+	// Widths lists machine widths; each width sets fetch width, retire
+	// width, and FU count together (empty selects 4, the paper's Table 6
+	// machine).
+	Widths []int `json:"widths,omitempty"`
+
+	// ProbGates lists PaCo gating targets as goodpath probabilities
+	// (e.g. 0.2 gates below 20%). Thresholds lists JRS confidence
+	// thresholds for conventional count-gating cells, each using
+	// GateCount (0 selects 3). When both are empty the sweep runs
+	// ungated.
+	ProbGates  []float64 `json:"prob_gates,omitempty"`
+	Thresholds []uint32  `json:"thresholds,omitempty"`
+	GateCount  int       `json:"gate_count,omitempty"`
+
+	// Seed, when nonzero, overrides every workload's seed so separate
+	// sweeps are comparable instruction-stream for instruction-stream.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Normalized validates the grid and fills every default, returning the
+// canonical form: two grids that describe the same sweep normalize to
+// equal values (and therefore to identical JSON). Benchmarks are
+// validated against the workload registry.
+func (g Grid) Normalized() (Grid, error) {
+	out := g
+	if len(out.Benchmarks) == 0 {
+		out.Benchmarks = append([]string(nil), workload.BenchmarkNames...)
+	}
+	for _, name := range out.Benchmarks {
+		if _, err := workload.NewBenchmark(name); err != nil {
+			return Grid{}, err
+		}
+	}
+	if out.Instructions == 0 {
+		out.Instructions = 600_000
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 200_000
+	}
+	if len(out.Refresh) == 0 {
+		out.Refresh = []uint64{200_000}
+	}
+	for _, r := range out.Refresh {
+		if r == 0 {
+			return Grid{}, fmt.Errorf("campaign: refresh period must be nonzero")
+		}
+	}
+	if len(out.Widths) == 0 {
+		out.Widths = []int{4}
+	}
+	for _, w := range out.Widths {
+		if w <= 0 {
+			return Grid{}, fmt.Errorf("campaign: machine width must be positive, got %d", w)
+		}
+	}
+	for _, p := range out.ProbGates {
+		if p <= 0 || p >= 1 {
+			return Grid{}, fmt.Errorf("campaign: gating target %g outside (0,1)", p)
+		}
+	}
+	if out.GateCount == 0 {
+		out.GateCount = 3
+	}
+	if out.GateCount < 0 {
+		return Grid{}, fmt.Errorf("campaign: gate count must be positive, got %d", out.GateCount)
+	}
+	return out, nil
+}
+
+// Size is the number of cells the grid expands to. Call on a normalized
+// grid; a zero grid has size 0.
+func (g Grid) Size() int {
+	return len(g.Benchmarks) * len(g.Refresh) * len(g.Widths) * g.gateCells()
+}
+
+func (g Grid) gateCells() int {
+	n := len(g.ProbGates) + len(g.Thresholds)
+	if n == 0 {
+		n = 1 // ungated
+	}
+	return n
+}
+
+// gridGate is one point on the grid's gating axis.
+type gridGate struct {
+	label string
+	mk    func(refresh uint64) gating.Gate // nil = ungated
+}
+
+func (g Grid) gates() []gridGate {
+	var gates []gridGate
+	if len(g.ProbGates) == 0 && len(g.Thresholds) == 0 {
+		gates = append(gates, gridGate{label: "ungated"})
+	}
+	for _, p := range g.ProbGates {
+		p := p
+		gates = append(gates, gridGate{
+			label: fmt.Sprintf("prob%g", p),
+			mk:    func(refresh uint64) gating.Gate { return gating.NewProbGate(p, refresh) },
+		})
+	}
+	for _, thr := range g.Thresholds {
+		thr, gc := thr, g.GateCount
+		gates = append(gates, gridGate{
+			label: fmt.Sprintf("thr%d-gate%d", thr, gc),
+			mk:    func(uint64) gating.Gate { return gating.NewCountGate(thr, gc) },
+		})
+	}
+	return gates
+}
+
+// Jobs expands the grid into one Job per cell, in deterministic order
+// (benchmark-major, then refresh, width, gate). The grid should be
+// normalized first; Jobs on an unnormalized grid expands whatever is
+// present.
+func (g Grid) Jobs() []Job {
+	var jobs []Job
+	for _, name := range g.Benchmarks {
+		for _, refresh := range g.Refresh {
+			for _, width := range g.Widths {
+				machine := cpu.DefaultConfig()
+				machine.FetchWidth = width
+				machine.RetireWidth = width
+				machine.FUCount = width
+				for _, gc := range g.gates() {
+					refresh, gc, machine := refresh, gc, machine
+					jobs = append(jobs, Job{
+						ID:           fmt.Sprintf("%s/refresh=%d/width=%d/%s", name, refresh, width, gc.label),
+						Benchmark:    name,
+						Instructions: g.Instructions,
+						Warmup:       g.Warmup,
+						Machine:      &machine,
+						Seed:         g.Seed,
+						Setup:        cellSetup(refresh, gc),
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// cellSetup builds the per-cell hooks: the cell's gate (if any), a PaCo
+// estimator, and a reliability probe recording PaCo's RMS error.
+func cellSetup(refresh uint64, gc gridGate) Setup {
+	return func() Hooks {
+		rel := &metrics.Reliability{}
+		hooks := Hooks{
+			Collect: func(res *Result, _ *cpu.Core, _ int) {
+				res.SetExtra("rms_error", rel.RMSError())
+				res.SetExtra("probe_instances", float64(rel.Instances()))
+			},
+		}
+		var paco *core.PaCo
+		if gc.mk != nil {
+			g := gc.mk(refresh)
+			hooks.Gate = g.ShouldGate
+			if pg, ok := g.(*gating.ProbGate); ok {
+				paco = pg.PaCo()
+				hooks.Estimators = []core.Estimator{paco}
+			} else {
+				// Conventional gate: measure PaCo alongside it.
+				paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
+				hooks.Estimators = []core.Estimator{g.Estimator(), paco}
+			}
+		} else {
+			paco = core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh})
+			hooks.Estimators = []core.Estimator{paco}
+		}
+		hooks.Probe = func(_ int, onGood bool) {
+			rel.Add(paco.GoodpathProb(), onGood)
+		}
+		return hooks
+	}
+}

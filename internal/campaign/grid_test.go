@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestGridNormalizedDefaults(t *testing.T) {
+	g, err := Grid{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Benchmarks) != 12 {
+		t.Fatalf("default benchmarks = %v", g.Benchmarks)
+	}
+	if g.Instructions != 600_000 || g.Warmup != 200_000 {
+		t.Fatalf("default window = %d/%d", g.Instructions, g.Warmup)
+	}
+	if len(g.Refresh) != 1 || g.Refresh[0] != 200_000 {
+		t.Fatalf("default refresh = %v", g.Refresh)
+	}
+	if len(g.Widths) != 1 || g.Widths[0] != 4 {
+		t.Fatalf("default widths = %v", g.Widths)
+	}
+	if g.GateCount != 3 {
+		t.Fatalf("default gate count = %d", g.GateCount)
+	}
+	if g.Size() != 12 {
+		t.Fatalf("default grid size = %d, want 12 ungated cells", g.Size())
+	}
+	// Normalization is idempotent, and equivalent grids canonicalize to
+	// identical JSON — the property the server's content hash rests on.
+	g2, err := g.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(g)
+	j2, _ := json.Marshal(g2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("normalization not idempotent:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestGridNormalizedRejects(t *testing.T) {
+	cases := []Grid{
+		{Benchmarks: []string{"nonesuch"}},
+		{Refresh: []uint64{0}},
+		{Widths: []int{-1}},
+		{ProbGates: []float64{1.5}},
+		{ProbGates: []float64{0}},
+		{GateCount: -2},
+	}
+	for i, g := range cases {
+		if _, err := g.Normalized(); err == nil {
+			t.Errorf("case %d: Normalized(%+v) accepted invalid grid", i, g)
+		}
+	}
+}
+
+func TestGridJobsExpansion(t *testing.T) {
+	g, err := Grid{
+		Benchmarks: []string{"gzip", "twolf"},
+		Refresh:    []uint64{100_000, 200_000},
+		Widths:     []int{2, 4},
+		ProbGates:  []float64{0.1},
+		Thresholds: []uint32{3},
+	}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs()
+	if len(jobs) != g.Size() || len(jobs) != 2*2*2*2 {
+		t.Fatalf("len(jobs) = %d, Size() = %d, want 16", len(jobs), g.Size())
+	}
+	if jobs[0].ID != "gzip/refresh=100000/width=2/prob0.1" {
+		t.Fatalf("jobs[0].ID = %q", jobs[0].ID)
+	}
+	if jobs[1].ID != "gzip/refresh=100000/width=2/thr3-gate3" {
+		t.Fatalf("jobs[1].ID = %q", jobs[1].ID)
+	}
+	for i := range jobs {
+		if jobs[i].Machine == nil || jobs[i].Setup == nil {
+			t.Fatalf("job %d missing machine or setup", i)
+		}
+	}
+	if jobs[0].Machine.FetchWidth != 2 || jobs[2].Machine.FetchWidth != 4 {
+		t.Fatalf("machine widths not applied: %d, %d",
+			jobs[0].Machine.FetchWidth, jobs[2].Machine.FetchWidth)
+	}
+}
+
+// TestGridCellsMeasure runs a tiny grid end to end: every cell must
+// complete and carry the PaCo reliability extras the sweep promises.
+func TestGridCellsMeasure(t *testing.T) {
+	g, err := Grid{
+		Benchmarks:   []string{"gzip"},
+		Instructions: 15_000,
+		Warmup:       5_000,
+		Refresh:      []uint64{10_000},
+		ProbGates:    []float64{0.2},
+		Thresholds:   []uint32{3},
+	}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), 2, g.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("len(results) = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Cycles == 0 || r.IPC <= 0 {
+			t.Fatalf("cell %d: empty measurement %+v", i, r)
+		}
+		if _, ok := r.Extra["rms_error"]; !ok {
+			t.Fatalf("cell %d: missing rms_error extra", i)
+		}
+		if r.Extra["probe_instances"] <= 0 {
+			t.Fatalf("cell %d: probe never fired", i)
+		}
+	}
+	// The gated cell must actually gate.
+	if results[0].Stats.GatedCycles == 0 {
+		t.Fatalf("prob-gated cell recorded no gated cycles: %+v", results[0].Stats)
+	}
+}

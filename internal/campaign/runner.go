@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Runner executes campaigns across a bounded worker pool.
+// Runner executes campaigns across a bounded worker pool. A Runner
+// carries live progress counters (see Snapshot) and must not be copied
+// after its first Run.
 type Runner struct {
 	// Workers bounds concurrent jobs; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
@@ -17,6 +20,32 @@ type Runner struct {
 	// campaign size, and the job's result. Calls are serialized; the
 	// callback needs no locking of its own.
 	OnProgress func(done, total int, r *Result)
+
+	// Live counters behind Snapshot. queued is jobs not yet picked up,
+	// running is jobs currently executing, done is settled jobs
+	// (completed, failed, or skipped).
+	queued, running, done atomic.Int64
+}
+
+// Snapshot is a point-in-time view of a running campaign: how many jobs
+// are still queued, executing right now, and settled. It is safe to call
+// from any goroutine while Run is in flight — paco-serve's /metrics and
+// job-status endpoints poll it.
+type Snapshot struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+}
+
+// Snapshot reports the runner's current progress. Before the first Run
+// all counts are zero; after a Run completes Queued and Running return
+// to zero and Done holds the campaign size.
+func (r *Runner) Snapshot() Snapshot {
+	return Snapshot{
+		Queued:  int(r.queued.Load()),
+		Running: int(r.running.Load()),
+		Done:    int(r.done.Load()),
+	}
 }
 
 // Run executes the campaign and returns one Result per job, in job
@@ -45,6 +74,9 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	done, total := 0, len(jobs)
+	r.queued.Store(int64(total))
+	r.running.Store(0)
+	r.done.Store(0)
 	progress := func(res *Result) {
 		mu.Lock()
 		done++
@@ -59,11 +91,15 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				r.queued.Add(-1)
+				r.running.Add(1)
 				if ctx.Err() != nil {
 					results[i] = skipped(&jobs[i], i, ctx)
 				} else {
 					results[i] = execute(ctx, &jobs[i], i)
 				}
+				r.running.Add(-1)
+				r.done.Add(1)
 				progress(&results[i])
 			}
 		}()
@@ -86,6 +122,8 @@ feed:
 
 	for i := range jobs {
 		if !started[i] {
+			r.queued.Add(-1)
+			r.done.Add(1)
 			results[i] = skipped(&jobs[i], i, ctx)
 			progress(&results[i])
 		}

@@ -115,6 +115,14 @@ func register(name string, r Runner) {
 	registry[name] = r
 }
 
+// Has reports whether name is a registered experiment — callers that
+// route requests (paco-serve distinguishing 404 from execution failure)
+// check before running.
+func Has(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // Names returns the registered experiment ids, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))

@@ -1,0 +1,68 @@
+package perf
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler aggregates simulator throughput across completed runs: each
+// observation is one run's simulated cycle count and wall-clock cost.
+// paco-serve feeds every executed job through a Sampler and exports the
+// rates on /metrics, making kernel throughput a continuously measured
+// service-level quantity — the same kcycles/sec the offline paco-bench
+// harness reports, but sampled from production traffic instead of a
+// dedicated measurement.
+//
+// A Sampler is safe for concurrent use; the zero value is ready.
+type Sampler struct {
+	mu       sync.Mutex
+	cycles   uint64
+	wall     time.Duration
+	samples  uint64
+	lastRate float64
+}
+
+// Observe records one completed run. Runs with no simulated cycles or no
+// measurable wall time are counted but do not perturb the rates.
+func (s *Sampler) Observe(cycles uint64, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	if cycles == 0 || wall <= 0 {
+		return
+	}
+	s.cycles += cycles
+	s.wall += wall
+	s.lastRate = float64(cycles) / wall.Seconds() / 1e3
+}
+
+// Totals returns the cumulative simulated cycles, wall time, and
+// observation count.
+func (s *Sampler) Totals() (cycles uint64, wall time.Duration, samples uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycles, s.wall, s.samples
+}
+
+// KCyclesPerSec is the cumulative throughput — total simulated
+// kilocycles over total simulation wall time. Zero before the first
+// productive observation.
+//
+// Note the denominator is summed per-run wall time: with N campaigns in
+// flight the service simulates N times this rate in real time.
+func (s *Sampler) KCyclesPerSec() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wall <= 0 {
+		return 0
+	}
+	return float64(s.cycles) / s.wall.Seconds() / 1e3
+}
+
+// LastKCyclesPerSec is the most recent run's throughput — a cheap
+// "current speed" gauge next to the cumulative rate.
+func (s *Sampler) LastKCyclesPerSec() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRate
+}

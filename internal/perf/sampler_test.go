@@ -1,0 +1,49 @@
+package perf
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplerRates(t *testing.T) {
+	var s Sampler
+	if got := s.KCyclesPerSec(); got != 0 {
+		t.Fatalf("zero sampler rate = %v, want 0", got)
+	}
+	s.Observe(1_000_000, time.Second)   // 1000 kcycles/sec
+	s.Observe(1_000_000, 2*time.Second) // 500 kcycles/sec
+	s.Observe(0, time.Second)           // counted, no rate effect
+	s.Observe(5_000, -time.Second)      // counted, no rate effect
+	cycles, wall, samples := s.Totals()
+	if cycles != 2_000_000 || wall != 3*time.Second || samples != 4 {
+		t.Fatalf("Totals() = %d cycles, %v wall, %d samples", cycles, wall, samples)
+	}
+	// Cumulative: 2M cycles over 3s = 666.67 kcycles/sec.
+	if got := s.KCyclesPerSec(); math.Abs(got-2000.0/3.0) > 1e-9 {
+		t.Fatalf("KCyclesPerSec() = %v, want %v", got, 2000.0/3.0)
+	}
+	if got := s.LastKCyclesPerSec(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("LastKCyclesPerSec() = %v, want 500", got)
+	}
+}
+
+func TestSamplerConcurrent(t *testing.T) {
+	var s Sampler
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Observe(1000, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	cycles, wall, samples := s.Totals()
+	if cycles != 800_000 || wall != 800*time.Millisecond || samples != 800 {
+		t.Fatalf("Totals() = %d cycles, %v wall, %d samples", cycles, wall, samples)
+	}
+}

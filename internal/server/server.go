@@ -1,0 +1,551 @@
+// Package server is paco's simulation-as-a-service layer: an HTTP/JSON
+// front end (stdlib net/http only) over the campaign engine. Clients
+// POST declarative job specs (a campaign.Grid — one run or a whole
+// sweep); the server executes them on a bounded queue and configurable
+// worker pool, streams progress over Server-Sent Events, and serves
+// every paper experiment at /v1/experiments/{name} byte-identical to the
+// CLI output.
+//
+// Because every simulation is deterministic given its spec, results are
+// content-addressed: the SHA-256 of the canonicalized spec names the
+// result, identical requests are pure cache hits (LRU byte-budget cache,
+// optionally persisted to disk), and concurrent identical submissions
+// single-flight into one simulation. /metrics exports the operational
+// counters — queue depth, cache hit/miss, jobs in flight, simulated
+// kcycles/sec — in Prometheus text format.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paco/internal/campaign"
+	"paco/internal/experiments"
+	"paco/internal/perf"
+	"paco/internal/version"
+)
+
+// Config sizes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// JobWorkers bounds campaigns executing concurrently (default 2).
+	JobWorkers int
+	// SimWorkers is the campaign worker-pool size each job runs with
+	// (default runtime.GOMAXPROCS(0)).
+	SimWorkers int
+	// QueueSize bounds jobs waiting to execute (default 64); submissions
+	// beyond it are rejected with 503.
+	QueueSize int
+	// MaxCells bounds one submission's grid expansion (default 4096).
+	MaxCells int
+	// MaxJobs bounds retained job records (default 1024): once exceeded,
+	// the oldest settled jobs are forgotten — their results stay
+	// reachable through the content-addressed cache, only the job id
+	// expires. Queued and running jobs are never evicted.
+	MaxJobs int
+
+	// CacheBytes is the content-addressed cache budget (default 64 MiB);
+	// CacheDir, when nonempty, persists cache entries across restarts.
+	CacheBytes int64
+	CacheDir   string
+
+	// Experiments scales the /v1/experiments reports (nil selects
+	// experiments.Default(), the scale cmd/paco-repro runs at).
+	Experiments *experiments.Config
+
+	// Log receives operational messages (nil discards them).
+	Log *log.Logger
+}
+
+// Server executes simulation jobs behind an HTTP API. Construct with
+// New, install Handler in an http.Server, call Start to launch the
+// worker pool and Close to drain it.
+type Server struct {
+	cfg    Config
+	expCfg experiments.Config
+	cache  *Cache
+	mux    *http.ServeMux
+
+	queue chan *job
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*job
+	jobOrder []string        // job ids in creation order, for MaxJobs eviction
+	inflight map[string]*job // content key -> executing/queued job
+	nextID   uint64
+
+	// expSem bounds concurrently executing experiment reports so the
+	// GET /v1/experiments path cannot bypass the worker-pool admission
+	// bounds.
+	expSem chan struct{}
+
+	// Experiment report single-flight.
+	expMu      sync.Mutex
+	expFlights map[string]*expFlight
+
+	simsRun    atomic.Uint64 // campaigns actually simulated
+	cellsRun   atomic.Uint64 // campaign cells simulated
+	jobsDone   atomic.Uint64
+	jobsFailed atomic.Uint64
+	running    atomic.Int64 // jobs executing right now
+
+	sampler perf.Sampler
+	started time.Time
+	wg      sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+type expFlight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New builds a Server; Start must be called before submissions execute.
+func New(cfg Config) (*Server, error) {
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 4096
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	expCfg := experiments.Default()
+	if cfg.Experiments != nil {
+		expCfg = *cfg.Experiments
+	}
+	s := &Server{
+		cfg:        cfg,
+		expCfg:     expCfg,
+		cache:      cache,
+		queue:      make(chan *job, cfg.QueueSize),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		expFlights: make(map[string]*expFlight),
+		expSem:     make(chan struct{}, cfg.JobWorkers),
+		started:    time.Now(),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Start launches the job worker pool.
+func (s *Server) Start() {
+	s.wg.Add(s.cfg.JobWorkers)
+	for i := 0; i < s.cfg.JobWorkers; i++ {
+		go s.worker()
+	}
+}
+
+// Close stops accepting submissions, cancels in-flight campaigns (their
+// executing cells finish, unstarted cells are skipped), fails jobs still
+// waiting in the queue, and waits for the worker pool to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	// Jobs a worker never picked up were drained by the closed-channel
+	// range in worker() and marked failed by runJob's closed check.
+}
+
+// Handler returns the server's HTTP handler: the API mux wrapped with
+// the build stamp header.
+func (s *Server) Handler() http.Handler {
+	stamp := version.Get().String()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Paco-Version", stamp)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// SimulationsRun reports how many campaigns were actually simulated (as
+// opposed to answered from the cache) — the counter the single-flight
+// and cache tests assert on.
+func (s *Server) SimulationsRun() uint64 { return s.simsRun.Load() }
+
+// CacheStats exposes the content-addressed cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// cachedPayload is what the cache stores per key: everything durable
+// about a completed job (identity fields like job id and timestamps stay
+// out, so the bytes are a pure function of the spec).
+type cachedPayload struct {
+	Spec    campaign.Grid     `json:"spec"`
+	Results []campaign.Result `json:"results"`
+	Summary campaign.Summary  `json:"summary"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit is POST /v1/jobs: parse the spec, canonicalize and hash
+// it, and answer from the cache, an in-flight duplicate, or a fresh
+// enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		errorJSON(w, status, "reading body: %v", err)
+		return
+	}
+	var grid campaign.Grid
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&grid); err != nil {
+		errorJSON(w, http.StatusBadRequest, "parsing job spec: %v", err)
+		return
+	}
+	grid, err = grid.Normalized()
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := grid.Size()
+	if cells > s.cfg.MaxCells {
+		errorJSON(w, http.StatusBadRequest,
+			"grid expands to %d cells, server limit is %d", cells, s.cfg.MaxCells)
+		return
+	}
+	key, err := specKey(grid)
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	j, outcome, err := s.submit(grid, key, cells)
+	if err != nil {
+		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if outcome == "hit" {
+		status = http.StatusOK
+	}
+	st := j.status(outcome == "hit")
+	if outcome == "inflight" {
+		// Single-flighted onto an earlier submission: report where that
+		// job stands, but the cache verdict for this request.
+		st.Cache = "inflight"
+	}
+	writeJSON(w, status, st)
+}
+
+// specKey computes the content address of a normalized grid: SHA-256
+// over the canonical JSON of the spec, domain-separated from other key
+// kinds. Normalization plus canonical JSON make the key insensitive to
+// field order, whitespace, number spelling, and spelled-out defaults.
+func specKey(grid campaign.Grid) (string, error) {
+	raw, err := json.Marshal(grid)
+	if err != nil {
+		return "", err
+	}
+	canon, err := CanonicalJSON(raw)
+	if err != nil {
+		return "", err
+	}
+	return Key([]byte("job"), canon), nil
+}
+
+// submit implements the content-addressed admission path. Exactly one of
+// the three outcomes happens under the lock:
+//
+//   - "hit": the canonical spec is in the cache — a pre-completed job
+//     record is created from the stored bytes, nothing is enqueued.
+//   - "inflight": an identical spec is already queued or running — the
+//     submission single-flights onto that job.
+//   - "miss": a fresh job is enqueued.
+func (s *Server) submit(grid campaign.Grid, key string, cells int) (*job, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", errors.New("server is shutting down")
+	}
+	if data, ok := s.cache.Get(key); ok {
+		var payload cachedPayload
+		if err := json.Unmarshal(data, &payload); err == nil {
+			j := newJob(s.nextIDLocked(), key, grid, cells)
+			j.completeFromCache(payload.Results, payload.Summary)
+			s.registerJobLocked(j)
+			return j, "hit", nil
+		}
+		// Undecodable cache entry (e.g. foreign file in the persistence
+		// dir that happened to parse as a key): fall through to simulate.
+		s.cfg.Log.Printf("cache entry %s undecodable; re-simulating", key[:12])
+	}
+	if exist, ok := s.inflight[key]; ok {
+		return exist, "inflight", nil
+	}
+	j := newJob(s.nextIDLocked(), key, grid, cells)
+	select {
+	case s.queue <- j:
+	default:
+		return nil, "", fmt.Errorf("job queue full (%d waiting)", s.cfg.QueueSize)
+	}
+	s.registerJobLocked(j)
+	s.inflight[key] = j
+	return j, "miss", nil
+}
+
+func (s *Server) nextIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("j-%06d", s.nextID)
+}
+
+// registerJobLocked records a job and bounds the retained records:
+// beyond MaxJobs, the oldest settled jobs are forgotten (their results
+// remain reachable through the content-addressed cache). Queued and
+// running jobs are kept regardless — they are bounded by the queue and
+// worker pool.
+func (s *Server) registerJobLocked(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		old := s.jobs[id]
+		if old == nil {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && old.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's campaign, records throughput, and stores
+// the result under its content address.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, j.key)
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		j.fail("server shut down before the job ran", nil)
+		s.jobsFailed.Add(1)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	runner := &campaign.Runner{
+		Workers:    s.cfg.SimWorkers,
+		OnProgress: func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
+	}
+	j.start(runner)
+	s.cfg.Log.Printf("job %s: running %d cells (key %s)", j.id, j.cells, j.key[:12])
+
+	start := time.Now()
+	results, err := runner.Run(s.ctx, j.grid.Jobs())
+	wall := time.Since(start)
+
+	var cycles uint64
+	for i := range results {
+		cycles += results[i].Cycles
+	}
+	s.sampler.Observe(cycles, wall)
+	s.simsRun.Add(1)
+	s.cellsRun.Add(uint64(len(results)))
+
+	// No terminal publish here: the events handler synthesizes the
+	// authoritative "done"/"failed" event when doneCh closes.
+	if err != nil {
+		summary := campaign.Summarize(results)
+		j.fail(err.Error(), &summary)
+		s.jobsFailed.Add(1)
+		s.cfg.Log.Printf("job %s: failed: %v", j.id, err)
+		return
+	}
+	summary := campaign.Summarize(results)
+	// Cache before marking done: a client that polls "done" and
+	// immediately re-POSTs the spec must find the cache populated.
+	if data, err := json.Marshal(cachedPayload{Spec: j.grid, Results: results, Summary: summary}); err == nil {
+		s.cache.Put(j.key, data)
+	}
+	j.complete(results, summary)
+	s.jobsDone.Add(1)
+	s.cfg.Log.Printf("job %s: done (%d cells in %v)", j.id, j.cells, wall.Round(time.Millisecond))
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// handleExperiment is GET /v1/experiments/{name}: the named paper
+// experiment rendered exactly as the CLI renders it (the same
+// experiments.Run writer path paco and paco-repro use), cached under
+// the content address of (name, experiment config), and single-flighted
+// so a report stampede runs the experiment once.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !experiments.Has(name) {
+		errorJSON(w, http.StatusNotFound,
+			"unknown experiment %q (have %v)", name, experiments.Names())
+		return
+	}
+	data, err := s.experimentReport(name)
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, "running %s: %v", name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(data)
+}
+
+func (s *Server) experimentReport(name string) ([]byte, error) {
+	// Workers is execution parallelism only — reports are byte-identical
+	// at any worker count (the campaign engine's core guarantee) — so it
+	// must not perturb the content address.
+	keyCfg := s.expCfg
+	keyCfg.Workers = 0
+	cfgJSON, err := json.Marshal(keyCfg)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := CanonicalJSON(cfgJSON)
+	if err != nil {
+		return nil, err
+	}
+	key := Key([]byte("experiment"), []byte(name), canon)
+	if data, ok := s.cache.Get(key); ok {
+		return data, nil
+	}
+
+	s.expMu.Lock()
+	if f, ok := s.expFlights[key]; ok {
+		s.expMu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &expFlight{done: make(chan struct{})}
+	s.expFlights[key] = f
+	s.expMu.Unlock()
+
+	s.runExpFlight(name, key, f)
+	return f.data, f.err
+}
+
+// runExpFlight executes one experiment for its single-flight leader.
+// The flight is always settled and removed — even if the experiment
+// panics — so followers can never block on a wedged flight; the
+// semaphore keeps report execution within the worker-pool bounds
+// instead of one-campaign-per-request.
+func (s *Server) runExpFlight(name, key string, f *expFlight) {
+	defer func() {
+		if p := recover(); p != nil {
+			f.err = fmt.Errorf("experiment %s panicked: %v", name, p)
+		}
+		if f.err == nil {
+			s.cache.Put(key, f.data)
+			s.simsRun.Add(1)
+		}
+		close(f.done)
+		s.expMu.Lock()
+		delete(s.expFlights, key)
+		s.expMu.Unlock()
+	}()
+	s.expSem <- struct{}{}
+	defer func() { <-s.expSem }()
+	var buf bytes.Buffer
+	f.err = experiments.Run(name, s.expCfg, &buf)
+	f.data = buf.Bytes()
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string       `json:"status"`
+		Version       version.Info `json:"version"`
+		UptimeSeconds float64      `json:"uptime_seconds"`
+		QueueDepth    int          `json:"queue_depth"`
+		JobsInFlight  int64        `json:"jobs_in_flight"`
+	}{
+		Status:        "ok",
+		Version:       version.Get(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    len(s.queue),
+		JobsInFlight:  s.running.Load(),
+	})
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
+// of the job's progress, fed by the campaign engine's progress
+// callbacks. The stream opens with a "snapshot" event (current status),
+// relays "running" and per-cell "progress" events while the campaign
+// executes, and closes after a terminal "done" or "failed" event
+// carrying the final status. Subscribing to an already-settled job
+// yields the snapshot and the terminal event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		errorJSON(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	writeEvent := func(name string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		fl.Flush()
+	}
+	writeStatus := func(name string) {
+		data, err := json.Marshal(j.status(false))
+		if err != nil {
+			return
+		}
+		writeEvent(name, data)
+	}
+
+	writeStatus("snapshot")
+	terminalName := func() string {
+		if st := j.status(false); st.Status == stateFailed {
+			return "failed"
+		}
+		return "done"
+	}
+	if j.terminal() {
+		writeStatus(terminalName())
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			writeEvent(ev.name, ev.data)
+		case <-j.doneCh:
+			// Drain progress that raced the terminal transition, then
+			// send the authoritative final status.
+			for {
+				select {
+				case ev := <-ch:
+					writeEvent(ev.name, ev.data)
+					continue
+				default:
+				}
+				break
+			}
+			writeStatus(terminalName())
+			return
+		}
+	}
+}

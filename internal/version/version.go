@@ -1,0 +1,83 @@
+// Package version is the single build-info stamp shared by every paco
+// binary: the module version, the Go toolchain that built it, and a
+// git-ish build tag when the binary was built from a VCS checkout. All
+// cmd/* binaries expose it through a -version flag, and paco-serve
+// embeds it in /healthz and /metrics responses, so a report, a server,
+// and a client can always be matched to the code that produced them.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Module is the module path every binary shares.
+const Module = "paco"
+
+// Version is the human-readable module version. It tracks the PR
+// sequence rather than tags (the repository grows by stacked PRs).
+var Version = "0.3.0"
+
+// Info is one binary's build stamp.
+type Info struct {
+	// Module and Version identify the code.
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// GoVersion, OS and Arch identify the toolchain and target.
+	GoVersion string `json:"go"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Revision is the VCS revision baked in by the Go toolchain
+	// (shortened), empty outside a VCS build. Dirty marks uncommitted
+	// changes at build time.
+	Revision string `json:"revision,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+}
+
+// Get assembles the build stamp for the running binary.
+func Get() Info {
+	info := Info{
+		Module:    Module,
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				info.Revision = rev
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// String renders the stamp on one line, e.g.
+// "paco 0.3.0 go1.24.0 linux/amd64 (abc123def456)".
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s %s/%s", i.Module, i.Version, i.GoVersion, i.OS, i.Arch)
+	if i.Revision != "" {
+		tag := i.Revision
+		if i.Dirty {
+			tag += "-dirty"
+		}
+		s += " (" + tag + ")"
+	}
+	return s
+}
+
+// Fprint writes the stamp for the named binary — the body of every
+// cmd/* binary's -version flag.
+func Fprint(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s: %s\n", binary, Get())
+}

@@ -1,0 +1,42 @@
+package version
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Module != Module || info.Version != Version {
+		t.Fatalf("Get() = %+v, want module %q version %q", info, Module, Version)
+	}
+	if info.GoVersion != runtime.Version() {
+		t.Fatalf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.OS != runtime.GOOS || info.Arch != runtime.GOARCH {
+		t.Fatalf("OS/Arch = %s/%s, want %s/%s", info.OS, info.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Info{Module: "paco", Version: "1.0", GoVersion: "go1.24.0", OS: "linux", Arch: "amd64"}.String()
+	if s != "paco 1.0 go1.24.0 linux/amd64" {
+		t.Fatalf("String() = %q", s)
+	}
+	withRev := Info{Module: "paco", Version: "1.0", GoVersion: "go1.24.0", OS: "linux", Arch: "amd64",
+		Revision: "abc123", Dirty: true}.String()
+	if withRev != "paco 1.0 go1.24.0 linux/amd64 (abc123-dirty)" {
+		t.Fatalf("String() = %q", withRev)
+	}
+}
+
+func TestFprint(t *testing.T) {
+	var buf bytes.Buffer
+	Fprint(&buf, "paco-serve")
+	out := buf.String()
+	if !strings.HasPrefix(out, "paco-serve: "+Module+" "+Version) || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Fprint wrote %q", out)
+	}
+}

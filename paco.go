@@ -37,7 +37,9 @@ import (
 	"paco/internal/experiments"
 	"paco/internal/gating"
 	"paco/internal/perf"
+	"paco/internal/server"
 	"paco/internal/smt"
+	"paco/internal/version"
 	"paco/internal/workload"
 )
 
@@ -238,3 +240,58 @@ func MeasureKernel(benchmark string, opts BenchOptions) (BenchResult, error) {
 func MeasureKernels(benchmarks []string, smt bool, opts BenchOptions) (*BenchReport, error) {
 	return perf.MeasureAll(benchmarks, smt, opts)
 }
+
+// Sweep grids (see internal/campaign): the declarative, serializable
+// description of a configuration sweep — the cross product of
+// benchmarks, refresh periods, machine widths, and gating schemes —
+// shared by cmd/paco-campaign's flags and paco-serve's POST /v1/jobs
+// body. A normalized grid canonicalizes to stable JSON, which is what
+// the service's content-addressed cache hashes.
+type CampaignGrid = campaign.Grid
+
+// CampaignSnapshot is a point-in-time view of a running campaign's
+// queued/running/done job counts (see (*CampaignRunner).Snapshot).
+type CampaignSnapshot = campaign.Snapshot
+
+// Simulation service (see internal/server and DESIGN.md §6): an
+// HTTP/JSON front end over the campaign engine with a content-addressed
+// result cache — SHA-256 of the canonicalized job spec addresses the
+// stored result, so repeated identical configurations never
+// re-simulate. cmd/paco-serve is the production entry point; embedders
+// mount (*SimServer).Handler() themselves.
+type (
+	// SimServer executes simulation jobs behind an HTTP API.
+	SimServer = server.Server
+	// SimServerConfig sizes a SimServer.
+	SimServerConfig = server.Config
+	// ResultCache is the content-addressed LRU result store.
+	ResultCache = server.Cache
+	// ResultCacheStats are the cache's hit/miss/occupancy counters.
+	ResultCacheStats = server.CacheStats
+)
+
+// NewSimServer builds a simulation service; call Start before serving
+// its Handler and Close to drain it.
+func NewSimServer(cfg SimServerConfig) (*SimServer, error) { return server.New(cfg) }
+
+// NewResultCache builds a standalone content-addressed result cache
+// with the given byte budget (<= 0 selects the default) and optional
+// persistence directory.
+func NewResultCache(budget int64, dir string) (*ResultCache, error) {
+	return server.NewCache(budget, dir)
+}
+
+// CanonicalJSON rewrites a JSON document into the canonical form the
+// result cache hashes: object keys sorted, whitespace removed, numbers
+// normalized.
+func CanonicalJSON(raw []byte) ([]byte, error) { return server.CanonicalJSON(raw) }
+
+// ContentKey computes the SHA-256 content address over the given parts.
+func ContentKey(parts ...[]byte) string { return server.Key(parts...) }
+
+// BuildInfo is the build stamp every paco binary shares (see the
+// -version flag on each cmd/* binary).
+type BuildInfo = version.Info
+
+// Version returns the running build's stamp.
+func Version() BuildInfo { return version.Get() }
