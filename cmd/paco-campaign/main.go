@@ -21,6 +21,12 @@
 //	# conventional threshold-and-count gating cells
 //	paco-campaign -thresholds 3,15 -gatecount 4
 //
+//	# declarative scenarios: named families, a scenario file, and a
+//	# seeded fuzz batch, swept alongside two SPEC models
+//	paco-campaign -benchmarks gzip,twolf \
+//	    -scenario interpreter,adversarial-mdc,myworkload.json \
+//	    -fuzz 10 -fuzz-seed 7
+//
 // Each cell attaches a PaCo estimator with a reliability probe, so every
 // result carries the predictor's RMS error (extra column "rms_error")
 // alongside IPC and the path/mispredict/squash counters. A nonzero
@@ -41,7 +47,9 @@ import (
 
 	"paco/internal/campaign"
 	"paco/internal/perf"
+	"paco/internal/scenario"
 	"paco/internal/version"
+	"paco/internal/workload"
 )
 
 func main() {
@@ -53,6 +61,9 @@ func main() {
 
 func run() error {
 	benchmarks := flag.String("benchmarks", "all", "comma-separated benchmark names, or 'all'")
+	scenarios := flag.String("scenario", "", "comma-separated scenario families or .json scenario files to sweep")
+	fuzzCount := flag.Int("fuzz", 0, "append N scenarios sampled from the family parameter ranges")
+	fuzzSeed := flag.Uint64("fuzz-seed", 1, "seed for -fuzz sampling (same seed, same scenarios)")
 	instructions := flag.Uint64("instructions", 600_000, "measured instructions per cell")
 	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per cell")
 	refreshes := flag.String("refresh", "200000", "comma-separated MRT refresh periods (cycles)")
@@ -91,10 +102,35 @@ func run() error {
 		GateCount:    *gateCount,
 		Seed:         *seed,
 	}
-	if *benchmarks != "all" {
+	benchExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "benchmarks" {
+			benchExplicit = true
+		}
+	})
+	scenarioSweep := *scenarios != "" || *fuzzCount != 0
+	switch {
+	case *benchmarks != "all":
 		grid.Benchmarks = strings.Split(*benchmarks, ",")
+	case benchExplicit || !scenarioSweep:
+		// Explicit -benchmarks all, or a plain benchmark sweep: the full
+		// list (grid normalization fills it when nothing else is swept).
+		if scenarioSweep {
+			grid.Benchmarks = append([]string(nil), workload.BenchmarkNames...)
+		}
+	default:
+		// Scenario sweep with -benchmarks left at its default: sweep only
+		// the scenarios.
 	}
 	var err error
+	if *scenarios != "" {
+		if grid.Scenarios, err = scenario.ParseArgs(*scenarios); err != nil {
+			return fmt.Errorf("-scenario: %w", err)
+		}
+	}
+	if *fuzzCount != 0 {
+		grid.Fuzz = &scenario.FuzzSpec{Seed: *fuzzSeed, Count: *fuzzCount}
+	}
 	if grid.Refresh, err = parseUints(*refreshes); err != nil {
 		return fmt.Errorf("-refresh: %w", err)
 	}

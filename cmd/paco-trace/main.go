@@ -5,19 +5,28 @@
 // Usage:
 //
 //	paco-trace record -bench gzip -instructions 1000000 -o gzip.trace
+//	paco-trace record -scenario interpreter -o interp.trace
+//	paco-trace record -scenario myworkload.json -o custom.trace
 //	paco-trace replay -i gzip.trace -estimator paco
 //	paco-trace replay -i gzip.trace -estimator count -threshold 3
 //
 // Estimators: paco, static, perbranch, count.
+//
+// A scenario-driven recording stamps the scenario's canonical content
+// hash into the trace header, so the stream carries provenance: replay
+// prints the hash, and any scenario document that canonicalizes to the
+// same bytes names the same workload.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 
 	"paco/internal/core"
 	"paco/internal/cpu"
+	"paco/internal/scenario"
 	"paco/internal/trace"
 	"paco/internal/version"
 	"paco/internal/workload"
@@ -52,13 +61,41 @@ func usage() {
 func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	bench := fs.String("bench", "gzip", "benchmark model to trace")
+	scn := fs.String("scenario", "", "scenario family or .json file to trace instead of -bench")
 	instructions := fs.Uint64("instructions", 500_000, "goodpath instructions to record")
 	warmup := fs.Uint64("warmup", 100_000, "warmup instructions before recording")
 	out := fs.String("o", "paco.trace", "output trace file")
 	fs.Parse(args)
 
-	spec, err := workload.NewBenchmark(*bench)
-	if err != nil {
+	var (
+		spec       *workload.Spec
+		provenance [32]byte
+		err        error
+	)
+	benchExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			benchExplicit = true
+		}
+	})
+	if *scn != "" && benchExplicit {
+		return fmt.Errorf("-bench %s and -scenario %s are mutually exclusive", *bench, *scn)
+	}
+	if *scn != "" {
+		scs, err := scenario.ParseArg(*scn)
+		if err != nil {
+			return err
+		}
+		if len(scs) != 1 {
+			return fmt.Errorf("record traces one scenario, %s holds %d", *scn, len(scs))
+		}
+		if spec, err = scs[0].Compile(); err != nil {
+			return err
+		}
+		if provenance, err = scs[0].Hash(); err != nil {
+			return err
+		}
+	} else if spec, err = workload.NewBenchmark(*bench); err != nil {
 		return err
 	}
 	f, err := os.Create(*out)
@@ -66,7 +103,7 @@ func record(args []string) error {
 		return err
 	}
 	defer f.Close()
-	w, err := trace.NewWriter(f)
+	w, err := trace.NewWriterProvenance(f, provenance)
 	if err != nil {
 		return err
 	}
@@ -89,7 +126,10 @@ func record(args []string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d events from %s to %s\n", w.Events(), *bench, *out)
+	fmt.Printf("recorded %d events from %s to %s\n", w.Events(), spec.Name, *out)
+	if provenance != ([32]byte{}) {
+		fmt.Printf("scenario hash %s\n", hex.EncodeToString(provenance[:]))
+	}
 	return nil
 }
 
@@ -122,6 +162,9 @@ func replay(args []string) error {
 		est = core.NewCountPredictor(uint32(*threshold))
 	default:
 		return fmt.Errorf("unknown estimator %q", *estName)
+	}
+	if prov := r.Provenance(); prov != ([32]byte{}) {
+		fmt.Printf("scenario hash %s\n", hex.EncodeToString(prov[:]))
 	}
 	st, err := trace.Replay(r, []core.Estimator{est})
 	if err != nil {

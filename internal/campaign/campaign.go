@@ -112,9 +112,7 @@ func run(job *Job) (*Result, error) {
 		spec = s
 	} else {
 		// Private copy: specs may be shared between jobs.
-		cp := *spec
-		cp.Phases = append([]workload.Phase(nil), spec.Phases...)
-		spec = &cp
+		spec = spec.Clone()
 	}
 	if job.Seed != 0 {
 		spec.Seed = job.Seed

@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"paco/internal/core"
 	"paco/internal/cpu"
 	"paco/internal/gating"
 	"paco/internal/metrics"
+	"paco/internal/scenario"
 	"paco/internal/workload"
 )
 
@@ -22,9 +24,21 @@ import (
 // result carries the predictor's RMS error (Extra keys "rms_error" and
 // "probe_instances") alongside IPC and the path/mispredict counters.
 type Grid struct {
-	// Benchmarks are the workload models to sweep; empty selects the
-	// paper's full benchmark list.
+	// Benchmarks are the workload models to sweep: bundled benchmark
+	// names and/or scenario family names (normalization moves family
+	// names into Scenarios). Empty selects the paper's full benchmark
+	// list — unless Scenarios or Fuzz supply workloads, in which case
+	// empty means none.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Scenarios are declarative workloads (internal/scenario) swept
+	// alongside Benchmarks; each compiles to a workload spec per cell.
+	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
+
+	// Fuzz, when non-nil, expands at normalization into Count scenarios
+	// sampled deterministically from Seed — so a fuzzed sweep spec is
+	// content-equal to the same sweep with the documents spelled out.
+	Fuzz *scenario.FuzzSpec `json:"fuzz,omitempty"`
 
 	// Instructions and Warmup size each cell's measured window and
 	// discarded warmup (0 selects the defaults, 600k/200k).
@@ -60,13 +74,54 @@ type Grid struct {
 // validated against the workload registry.
 func (g Grid) Normalized() (Grid, error) {
 	out := g
-	if len(out.Benchmarks) == 0 {
+	out.Scenarios = append([]scenario.Scenario(nil), g.Scenarios...)
+	if len(out.Benchmarks) == 0 && len(out.Scenarios) == 0 && out.Fuzz == nil {
 		out.Benchmarks = append([]string(nil), workload.BenchmarkNames...)
 	}
-	for _, name := range out.Benchmarks {
-		if _, err := workload.NewBenchmark(name); err != nil {
+	// Family names on the benchmark axis canonicalize as scenarios, so
+	// {"benchmarks":["loopy"]} and {"scenarios":[{"family":"loopy"}]}
+	// hash to the same content address.
+	var benchmarks []string
+	for _, name := range g.Benchmarks {
+		switch {
+		case workload.IsBenchmark(name):
+			benchmarks = append(benchmarks, name)
+		case scenario.IsFamily(name):
+			out.Scenarios = append(out.Scenarios, scenario.Scenario{Family: name})
+		default:
+			return Grid{}, fmt.Errorf(
+				"campaign: %q is neither a benchmark (have %v) nor a scenario family (have %v)",
+				name, workload.BenchmarkNames, scenario.FamilyNames())
+		}
+	}
+	if len(g.Benchmarks) > 0 {
+		out.Benchmarks = benchmarks
+	}
+	if out.Fuzz != nil {
+		fuzzed, err := out.Fuzz.Generate()
+		if err != nil {
 			return Grid{}, err
 		}
+		out.Scenarios = append(out.Scenarios, fuzzed...)
+		out.Fuzz = nil
+	}
+	seen := map[string]bool{}
+	for i, sc := range out.Scenarios {
+		n, err := sc.Normalized()
+		if err != nil {
+			return Grid{}, fmt.Errorf("campaign: scenario %d: %w", i, err)
+		}
+		if _, err := n.Compile(); err != nil {
+			return Grid{}, fmt.Errorf("campaign: scenario %d: %w", i, err)
+		}
+		if seen[n.Name] {
+			return Grid{}, fmt.Errorf("campaign: duplicate scenario name %q", n.Name)
+		}
+		seen[n.Name] = true
+		out.Scenarios[i] = n
+	}
+	if len(out.Scenarios) == 0 {
+		out.Scenarios = nil
 	}
 	if out.Instructions == 0 {
 		out.Instructions = 600_000
@@ -107,7 +162,7 @@ func (g Grid) Normalized() (Grid, error) {
 // Size is the number of cells the grid expands to. Call on a normalized
 // grid; a zero grid has size 0.
 func (g Grid) Size() int {
-	return len(g.Benchmarks) * len(g.Refresh) * len(g.Widths) * g.gateCells()
+	return (len(g.Benchmarks) + len(g.Scenarios)) * len(g.Refresh) * len(g.Widths) * g.gateCells()
 }
 
 func (g Grid) gateCells() int {
@@ -147,12 +202,14 @@ func (g Grid) gates() []gridGate {
 }
 
 // Jobs expands the grid into one Job per cell, in deterministic order
-// (benchmark-major, then refresh, width, gate). The grid should be
-// normalized first; Jobs on an unnormalized grid expands whatever is
-// present.
+// (workload-major — benchmarks then scenarios — then refresh, width,
+// gate). The grid should be normalized first; Jobs on an unnormalized
+// grid expands whatever is present. Cell IDs for benchmark workloads are
+// unchanged from pre-scenario grids; scenario cells are prefixed
+// "scenario:".
 func (g Grid) Jobs() []Job {
 	var jobs []Job
-	for _, name := range g.Benchmarks {
+	addCells := func(id, benchmark string, spec *workload.Spec) {
 		for _, refresh := range g.Refresh {
 			for _, width := range g.Widths {
 				machine := cpu.DefaultConfig()
@@ -162,8 +219,9 @@ func (g Grid) Jobs() []Job {
 				for _, gc := range g.gates() {
 					refresh, gc, machine := refresh, gc, machine
 					jobs = append(jobs, Job{
-						ID:           fmt.Sprintf("%s/refresh=%d/width=%d/%s", name, refresh, width, gc.label),
-						Benchmark:    name,
+						ID:           fmt.Sprintf("%s/refresh=%d/width=%d/%s", id, refresh, width, gc.label),
+						Benchmark:    benchmark,
+						Spec:         spec,
 						Instructions: g.Instructions,
 						Warmup:       g.Warmup,
 						Machine:      &machine,
@@ -173,6 +231,27 @@ func (g Grid) Jobs() []Job {
 				}
 			}
 		}
+	}
+	for _, name := range g.Benchmarks {
+		addCells(name, name, nil)
+	}
+	for _, sc := range g.Scenarios {
+		sc := sc
+		spec, err := sc.Compile()
+		if err != nil {
+			// Normalized grids compile cleanly; an unnormalized grid's bad
+			// scenario surfaces as a failed cell rather than a panic.
+			errJob := Job{
+				ID:        fmt.Sprintf("scenario:%s", sc.Name),
+				Benchmark: sc.Name,
+				Exec: func(context.Context) (*Result, error) {
+					return nil, err
+				},
+			}
+			jobs = append(jobs, errJob)
+			continue
+		}
+		addCells("scenario:"+spec.Name, spec.Name, spec)
 	}
 	return jobs
 }

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"paco/internal/scenario"
+)
+
+// TestGridScenarioNormalization: the three spellings of "sweep the loopy
+// family" — a family name on the benchmark axis, a bare scenario, and a
+// fully spelled-out scenario — normalize to identical JSON, which is the
+// bytes the server's content-addressed cache hashes.
+func TestGridScenarioNormalization(t *testing.T) {
+	byName, err := Grid{Benchmarks: []string{"loopy"}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Grid{Scenarios: []scenario.Scenario{{Family: "loopy"}}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := bare.Scenarios[0] // already normalized: defaults spelled out
+	spelled, err := Grid{Scenarios: []scenario.Scenario{full}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(byName)
+	j2, _ := json.Marshal(bare)
+	j3, _ := json.Marshal(spelled)
+	if !bytes.Equal(j1, j2) || !bytes.Equal(j2, j3) {
+		t.Fatalf("equivalent scenario grids normalize apart:\n%s\n%s\n%s", j1, j2, j3)
+	}
+	if len(byName.Benchmarks) != 0 {
+		t.Fatalf("family name left on the benchmark axis: %v", byName.Benchmarks)
+	}
+	// Scenario-only grids must not default-fill the 12 benchmarks.
+	if len(bare.Scenarios) != 1 || bare.Size() != 1 {
+		t.Fatalf("scenario-only grid expanded wrong: %d scenarios, size %d", len(bare.Scenarios), bare.Size())
+	}
+	// Pure benchmark grids are untouched (IDs stay stable).
+	plain, err := Grid{Benchmarks: []string{"gzip"}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Scenarios) != 0 || plain.Jobs()[0].ID != "gzip/refresh=200000/width=4/ungated" {
+		t.Fatalf("benchmark grid changed: %+v", plain.Jobs()[0].ID)
+	}
+}
+
+// TestGridParameterSweep: several unnamed documents of one family at
+// different parameter points are distinct cells, not duplicates.
+func TestGridParameterSweep(t *testing.T) {
+	g, err := Grid{Scenarios: []scenario.Scenario{
+		{Family: "phase-thrash", Params: map[string]float64{"period": 10_000}},
+		{Family: "phase-thrash", Params: map[string]float64{"period": 40_000}},
+		{Family: "phase-thrash"},
+	}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("sweep size = %d", g.Size())
+	}
+	jobs := g.Jobs()
+	if jobs[0].ID == jobs[1].ID || jobs[1].ID == jobs[2].ID {
+		t.Fatalf("sweep cells share IDs: %q %q %q", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+}
+
+func TestGridScenarioRejects(t *testing.T) {
+	cases := []Grid{
+		{Benchmarks: []string{"nonesuch"}},
+		{Scenarios: []scenario.Scenario{{Family: "nonesuch"}}},
+		{Scenarios: []scenario.Scenario{{Family: "loopy"}, {Family: "loopy"}}}, // duplicate name
+		{Benchmarks: []string{"loopy"}, Scenarios: []scenario.Scenario{{Family: "loopy"}}},
+		{Fuzz: &scenario.FuzzSpec{Seed: 1, Count: -1}},
+	}
+	for i, g := range cases {
+		if _, err := g.Normalized(); err == nil {
+			t.Errorf("case %d: invalid grid accepted", i)
+		}
+	}
+}
+
+// TestGridFuzzExpansion: a fuzz spec normalizes into its expanded
+// scenario list — deterministically, so the short form and the expansion
+// are content-equal — and the result is idempotent under renormalization.
+func TestGridFuzzExpansion(t *testing.T) {
+	g, err := Grid{Fuzz: &scenario.FuzzSpec{Seed: 11, Count: 3}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fuzz != nil || len(g.Scenarios) != 3 || len(g.Benchmarks) != 0 {
+		t.Fatalf("fuzz not expanded: %+v", g)
+	}
+	scs, err := scenario.FuzzSpec{Seed: 11, Count: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := Grid{Scenarios: scs}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(g)
+	j2, _ := json.Marshal(expanded)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("fuzz spec and its expansion normalize apart:\n%s\n%s", j1, j2)
+	}
+	again, err := g.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, _ := json.Marshal(again)
+	if !bytes.Equal(j1, j3) {
+		t.Fatal("normalization not idempotent after fuzz expansion")
+	}
+}
+
+// TestGridScenarioCells runs a benchmark+scenario grid end to end: cell
+// IDs carry the scenario prefix and every cell completes with the sweep's
+// reliability extras.
+func TestGridScenarioCells(t *testing.T) {
+	g, err := Grid{
+		Benchmarks:   []string{"gzip"},
+		Scenarios:    []scenario.Scenario{{Family: "adversarial-mdc"}},
+		Instructions: 15_000,
+		Warmup:       5_000,
+		Refresh:      []uint64{10_000},
+	}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs()
+	if len(jobs) != 2 || g.Size() != 2 {
+		t.Fatalf("expansion: %d jobs, size %d", len(jobs), g.Size())
+	}
+	if jobs[0].ID != "gzip/refresh=10000/width=4/ungated" {
+		t.Fatalf("benchmark cell ID changed: %q", jobs[0].ID)
+	}
+	if !strings.HasPrefix(jobs[1].ID, "scenario:adversarial-mdc/") {
+		t.Fatalf("scenario cell ID: %q", jobs[1].ID)
+	}
+	results, err := Run(context.Background(), 2, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Cycles == 0 || r.IPC <= 0 {
+			t.Fatalf("cell %d: empty measurement %+v", i, r)
+		}
+		if r.Extra["probe_instances"] <= 0 {
+			t.Fatalf("cell %d: probe never fired", i)
+		}
+	}
+	if results[1].Benchmark != "adversarial-mdc" {
+		t.Fatalf("scenario result benchmark = %q", results[1].Benchmark)
+	}
+}

@@ -6,13 +6,14 @@ import (
 	"strings"
 	"testing"
 
+	"paco/internal/scenario"
 	"paco/internal/smt"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate-perceptron", "ablate-refresh", "ablate-stratifier",
 		"ablate-throttle", "fig10", "fig12", "fig2", "fig3a", "fig3b", "fig8",
-		"fig9", "table7", "tableA1"}
+		"fig9", "robustness", "table7", "tableA1"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v", got)
@@ -224,6 +225,74 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.Contains(tbl.String(), "throttle") {
 		t.Fatal("throttle ablation rendering")
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	cfg := Quick()
+	scs := []scenario.Scenario{
+		{Family: "adversarial-mdc"},
+		{Family: "loopy"},
+	}
+	r, err := RunRobustness(cfg, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.PaCoRMS <= 0 || row.PaCoRMS > 0.5 {
+			t.Fatalf("%s: PaCo RMS %.4f implausible", row.Scenario, row.PaCoRMS)
+		}
+		if row.JRSCountRMS <= 0 || row.PerceptronRMS <= 0 {
+			t.Fatalf("%s: zero column in %+v", row.Scenario, row)
+		}
+	}
+	adv, _ := r.Row("adversarial-mdc")
+	loopy, _ := r.Row("loopy")
+	// The families bracket difficulty: the adversarial population must
+	// mispredict far more than the floor case.
+	if adv.CondMR <= loopy.CondMR {
+		t.Fatalf("adversarial-mdc MR %.2f <= loopy MR %.2f", adv.CondMR, loopy.CondMR)
+	}
+	// On the predictable floor case the fixed design-time rate is
+	// unfixably pessimistic; PaCo's trained per-bucket rates adapt and
+	// must win on calibration.
+	if loopy.PaCoRMS >= loopy.JRSCountRMS {
+		t.Fatalf("loopy: PaCo RMS %.4f >= JRS-count RMS %.4f — trained rates buy nothing on the floor case",
+			loopy.PaCoRMS, loopy.JRSCountRMS)
+	}
+	// Discrimination must be measured (nonzero) for both models on the
+	// adversarial population.
+	if adv.PaCoDisc <= 0 || adv.JRSCountDisc <= 0 {
+		t.Fatalf("adversarial-mdc: zero discrimination: %+v", adv)
+	}
+	if !strings.Contains(r.Table().String(), "adversarial-mdc") {
+		t.Fatal("table rendering")
+	}
+}
+
+// TestRobustnessWorkerCountDeterminism is the new experiment's
+// acceptance criterion: the report is byte-identical at any worker
+// count.
+func TestRobustnessWorkerCountDeterminism(t *testing.T) {
+	cfg := Quick()
+	cfg.Instructions = 40_000
+	cfg.Warmup = 15_000
+	render := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		var buf bytes.Buffer
+		if err := RobustnessReport(c, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("robustness reports differ across worker counts:\n-j1:\n%s\n-j8:\n%s", serial, parallel)
 	}
 }
 

@@ -106,6 +106,37 @@ func (r *Reliability) RMSError() float64 {
 	return math.Sqrt(sum / float64(n))
 }
 
+// Resolution returns the resolution term of the Murphy decomposition of
+// the Brier score: the occupancy-weighted variance of each bin's
+// observed goodpath frequency around the overall base rate, on the 0..1
+// probability scale (returned as its square root, an RMS spread, so it
+// reads on the same scale as RMSError). Calibration alone (RMSError)
+// rewards a constant predictor that always answers the base rate;
+// resolution is the complementary axis — how much the predictor's
+// distinct answers actually separate outcomes — and a constant predictor
+// scores exactly zero.
+func (r *Reliability) Resolution() float64 {
+	var n, good uint64
+	for i := range r.count {
+		n += r.count[i]
+		good += r.good[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	base := float64(good) / float64(n)
+	var sum float64
+	for i, c := range r.count {
+		if c == 0 {
+			continue
+		}
+		obs := float64(r.good[i]) / float64(c)
+		d := obs - base
+		sum += float64(c) * d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
 // ObservedAt returns the observed goodpath probability (0..1) of the bin
 // at the given predicted percent, and the bin occupancy.
 func (r *Reliability) ObservedAt(predictedPercent int) (float64, uint64) {

@@ -1,0 +1,372 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paco/internal/workload"
+)
+
+// Param declares one family parameter: its valid range (inclusive) and
+// the default Normalized spells out when the document leaves it unset.
+// The declared ranges are also the fuzzer's sampling domain.
+type Param struct {
+	Name    string  `json:"name"`
+	Doc     string  `json:"doc"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Default float64 `json:"default"`
+	// Integer parameters are sampled and validated on whole values.
+	Integer bool `json:"integer,omitempty"`
+}
+
+// Family is one named workload family: a parameterized generator of
+// workload.Spec values covering a behavioural regime the SPEC models
+// don't.
+type Family struct {
+	Name   string  `json:"name"`
+	Doc    string  `json:"doc"`
+	Params []Param `json:"params"`
+
+	build func(p map[string]float64, seed uint64) *workload.Spec
+}
+
+var families = map[string]*Family{}
+
+func registerFamily(f *Family) {
+	if _, dup := families[f.Name]; dup {
+		panic("scenario: duplicate family " + f.Name)
+	}
+	families[f.Name] = f
+}
+
+func familyByName(name string) (*Family, bool) {
+	f, ok := families[name]
+	return f, ok
+}
+
+// IsFamily reports whether name is a registered workload family.
+func IsFamily(name string) bool {
+	_, ok := families[name]
+	return ok
+}
+
+// FamilyNames returns the registered family names, sorted.
+func FamilyNames() []string {
+	out := make([]string, 0, len(families))
+	for n := range families {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Families returns the registered families in name order. The returned
+// values are copies: mutating them (or their Params) cannot reach the
+// registry, whose declarations feed normalization, cache keys, and the
+// fuzzer for the whole process.
+func Families() []*Family {
+	names := FamilyNames()
+	out := make([]*Family, len(names))
+	for i, n := range names {
+		cp := *families[n]
+		cp.Params = append([]Param(nil), cp.Params...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// normalizedParams validates p against the family's declaration and
+// returns the complete parameter map with every default spelled out, so
+// equivalent documents canonicalize identically.
+func (f *Family) normalizedParams(p map[string]float64) (map[string]float64, error) {
+	out := make(map[string]float64, len(f.Params))
+	for _, d := range f.Params {
+		out[d.Name] = d.Default
+	}
+	for name, v := range p {
+		d, ok := f.param(name)
+		if !ok {
+			return nil, fmt.Errorf("scenario: family %s has no parameter %q", f.Name, name)
+		}
+		if v < d.Min || v > d.Max {
+			return nil, fmt.Errorf("scenario: family %s parameter %s=%g outside [%g, %g]", f.Name, name, v, d.Min, d.Max)
+		}
+		if d.Integer && v != math.Trunc(v) {
+			return nil, fmt.Errorf("scenario: family %s parameter %s=%g must be an integer", f.Name, name, v)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func (f *Family) param(name string) (Param, bool) {
+	for _, d := range f.Params {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Param{}, false
+}
+
+// familyBase is the structural skeleton family builders start from —
+// the same defaults the SPEC models share, overridden per family.
+func familyBase(seed uint64) *workload.Spec {
+	return &workload.Spec{
+		Seed:            seed,
+		BlocksPerPhase:  1200,
+		AvgBlockLen:     6,
+		LoadFrac:        0.24,
+		StoreFrac:       0.10,
+		LongLatFrac:     0.10,
+		DepGeoP:         0.22,
+		WorkingSetKB:    256,
+		RandomAddrFrac:  0.15,
+		JumpFrac:        0.06,
+		CallFrac:        0.04,
+		ReturnFrac:      0.04,
+		IndirectFrac:    0.01,
+		IndirectTargets: 3,
+	}
+}
+
+func lerp(lo, hi, t float64) float64 { return lo + t*(hi-lo) }
+
+func init() {
+	registerFamily(&Family{
+		Name: "interpreter",
+		Doc: "bytecode-interpreter dispatch: near-perfect conditional branches " +
+			"but a hot indirect dispatch over many targets, the perlbmk regime " +
+			"pushed further — BTB target mispredicts dominate and the JRS table " +
+			"cannot see them",
+		Params: []Param{
+			{Name: "dispatch_frac", Doc: "fraction of segments that are indirect dispatches", Min: 0.05, Max: 0.35, Default: 0.22},
+			{Name: "targets", Doc: "distinct targets per dispatch site", Min: 4, Max: 64, Default: 24, Integer: true},
+			{Name: "bias", Doc: "taken probability of the biased conditionals", Min: 0.95, Max: 0.9995, Default: 0.999},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "interpreter"
+			s.IndirectFrac = p["dispatch_frac"]
+			s.IndirectTargets = int(p["targets"])
+			s.CallFrac, s.ReturnFrac = 0.05, 0.05
+			// Short scan loops only: the interpreter's real loop is the
+			// dispatch itself, and long numeric loops would drown the
+			// indirect sites in loop-body instructions.
+			m := workload.BranchMix{
+				Biased: 0.78, Loop: 0.02, Pattern: 0.14, Correlated: 0.02, Noisy: 0.01,
+				BiasedP:       p["bias"],
+				LoopTripMin:   8,
+				LoopTripMax:   16,
+				PatternLenMin: 3,
+				PatternLenMax: 8,
+				NoisyEps:      0.02,
+				RandomP:       0.5,
+			}
+			s.Phases = []workload.Phase{{Instructions: 1 << 62, Mix: m}}
+			return s
+		},
+	})
+
+	registerFamily(&Family{
+		Name: "server",
+		Doc: "request-serving code: many shallow phases over distinct code " +
+			"regions (large instruction footprint, L1I pressure), deep service " +
+			"call trees, mixed predictability that shifts every few tens of " +
+			"thousands of instructions",
+		Params: []Param{
+			{Name: "phases", Doc: "number of request-handler phases", Min: 2, Max: 8, Default: 4, Integer: true},
+			{Name: "phase_insns", Doc: "instructions per phase before the next handler runs", Min: 20_000, Max: 200_000, Default: 60_000, Integer: true},
+			{Name: "blocks", Doc: "basic blocks per phase region (I-footprint)", Min: 2000, Max: 8000, Default: 4000, Integer: true},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "server"
+			s.BlocksPerPhase = int(p["blocks"])
+			s.WorkingSetKB = 1024
+			s.RandomAddrFrac = 0.25
+			s.CallFrac, s.ReturnFrac = 0.08, 0.08
+			phases := int(p["phases"])
+			insns := uint64(p["phase_insns"])
+			for i := 0; i < phases; i++ {
+				// Alternate parse-like (noisy, data-dependent) and
+				// respond-like (loop/biased) handlers, detuned slightly per
+				// phase so every region has its own bucket rates.
+				t := float64(i) / float64(phases)
+				var m workload.BranchMix
+				if i%2 == 0 {
+					m = workload.BranchMix{
+						Biased: 0.48, Loop: 0.10, Pattern: 0.08, Correlated: 0.12, Noisy: 0.20, Random: 0.02,
+						BiasedP:     0.985,
+						LoopTripMin: 8, LoopTripMax: 24,
+						PatternLenMin: 3, PatternLenMax: 8,
+						NoisyEps: 0.06 + 0.03*t,
+						RandomP:  0.5,
+					}
+				} else {
+					m = workload.BranchMix{
+						Biased: 0.62, Loop: 0.14, Pattern: 0.10, Correlated: 0.06, Noisy: 0.08,
+						BiasedP:     0.99,
+						LoopTripMin: 30, LoopTripMax: 80,
+						PatternLenMin: 3, PatternLenMax: 8,
+						NoisyEps: 0.04 + 0.02*t,
+						RandomP:  0.5,
+					}
+				}
+				s.Phases = append(s.Phases, workload.Phase{Instructions: insns, Mix: m})
+			}
+			return s
+		},
+	})
+
+	registerFamily(&Family{
+		Name: "pointer-chase",
+		Doc: "linked-structure traversal: cache-hostile random loads over a " +
+			"large working set, short dependence distances (low ILP), short " +
+			"data-dependent loops — the memory-bound regime where badpath " +
+			"cache pollution hurts most",
+		Params: []Param{
+			{Name: "ws_mb", Doc: "data working set in MiB", Min: 1, Max: 32, Default: 8, Integer: true},
+			{Name: "random_frac", Doc: "fraction of memory accesses with random addresses", Min: 0.5, Max: 1.0, Default: 0.85},
+			{Name: "load_frac", Doc: "per-instruction load probability", Min: 0.30, Max: 0.45, Default: 0.38},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "pointer-chase"
+			s.WorkingSetKB = int(p["ws_mb"]) * 1024
+			s.RandomAddrFrac = p["random_frac"]
+			s.LoadFrac = p["load_frac"]
+			s.StoreFrac = 0.06
+			s.DepGeoP = 0.55 // short dependence distances: serialized chains
+			s.LongLatFrac = 0.05
+			s.BlocksPerPhase = 800
+			s.AvgBlockLen = 5
+			m := workload.BranchMix{
+				Biased: 0.34, Loop: 0.16, Pattern: 0.06, Correlated: 0.06, Noisy: 0.30, Random: 0.01,
+				BiasedP:     0.985,
+				LoopTripMin: 6, LoopTripMax: 18,
+				PatternLenMin: 3, PatternLenMax: 8,
+				NoisyEps: 0.08,
+				RandomP:  0.5,
+			}
+			s.Phases = []workload.Phase{{Instructions: 1 << 62, Mix: m}}
+			return s
+		},
+	})
+
+	registerFamily(&Family{
+		Name: "phase-thrash",
+		Doc: "rapid alternation between a predictable and a hostile branch " +
+			"population: when the period is shorter than PaCo's MRT refresh, " +
+			"the per-bucket rates move faster than the estimator re-learns " +
+			"them — the gcc failure mode isolated and tunable",
+		Params: []Param{
+			{Name: "period", Doc: "instructions per phase before alternating", Min: 5_000, Max: 100_000, Default: 20_000, Integer: true},
+			{Name: "contrast", Doc: "how far apart the two populations are (0 mild, 1 extreme)", Min: 0.2, Max: 1.0, Default: 0.8},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "phase-thrash"
+			s.BlocksPerPhase = 900
+			period := uint64(p["period"])
+			c := p["contrast"]
+			easy := workload.BranchMix{
+				Biased: 0.68, Loop: 0.16, Pattern: 0.10, Correlated: 0.04, Noisy: 0.02,
+				BiasedP:     0.995,
+				LoopTripMin: 60, LoopTripMax: 140,
+				PatternLenMin: 3, PatternLenMax: 8,
+				NoisyEps: 0.03,
+				RandomP:  0.5,
+			}
+			hard := workload.BranchMix{
+				Biased:        lerp(0.50, 0.12, c),
+				Loop:          0.10,
+				Pattern:       0.06,
+				Correlated:    0.04,
+				Noisy:         lerp(0.28, 0.62, c),
+				Random:        lerp(0.01, 0.04, c),
+				BiasedP:       0.985,
+				LoopTripMin:   int(math.Round(lerp(24, 7, c))),
+				LoopTripMax:   int(math.Round(lerp(60, 14, c))),
+				PatternLenMin: 3, PatternLenMax: 8,
+				NoisyEps: lerp(0.06, 0.13, c),
+				RandomP:  0.5,
+			}
+			s.Phases = []workload.Phase{
+				{Instructions: period, Mix: easy},
+				{Instructions: period, Mix: hard},
+			}
+			return s
+		},
+	})
+
+	registerFamily(&Family{
+		Name: "loopy",
+		Doc: "loop-dominated numeric code with long trip counts and strongly " +
+			"biased conditionals: the highly predictable floor case — PaCo " +
+			"should pin goodpath probability near 1 and RMS error near 0",
+		Params: []Param{
+			{Name: "trip_min", Doc: "minimum mean loop trip count", Min: 16, Max: 128, Default: 100, Integer: true},
+			{Name: "trip_max", Doc: "maximum mean loop trip count (raised to trip_min when lower)", Min: 64, Max: 512, Default: 240, Integer: true},
+			{Name: "loop_weight", Doc: "relative weight of loop branches", Min: 0.2, Max: 0.5, Default: 0.35},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "loopy"
+			lo, hi := int(p["trip_min"]), int(p["trip_max"])
+			if hi < lo {
+				hi = lo
+			}
+			m := workload.BranchMix{
+				Biased: 0.52, Loop: p["loop_weight"], Pattern: 0.08, Correlated: 0.02, Noisy: 0.02,
+				BiasedP:     0.998,
+				LoopTripMin: lo, LoopTripMax: hi,
+				PatternLenMin: 3, PatternLenMax: 8,
+				NoisyEps: 0.02,
+				RandomP:  0.5,
+			}
+			s.Phases = []workload.Phase{{Instructions: 1 << 62, Mix: m}}
+			return s
+		},
+	})
+
+	registerFamily(&Family{
+		Name: "adversarial-mdc",
+		Doc: "a bimodal branch population crafted against the JRS MDC " +
+			"stratification: one sub-population mispredicts at eps_lo, the " +
+			"other at eps_hi, so per-bucket rates straddle any single " +
+			"threshold (what fig2 measures) and threshold-and-count gating " +
+			"must mis-rank paths that PaCo's per-bucket rates separate",
+		Params: []Param{
+			{Name: "eps_lo", Doc: "mispredict rate of the trustworthy sub-population", Min: 0.005, Max: 0.08, Default: 0.02},
+			{Name: "eps_hi", Doc: "mispredict rate of the treacherous sub-population", Min: 0.15, Max: 0.5, Default: 0.30},
+			// A minority treacherous population hurts the single-rate
+			// model most: the trained rate lands between the modes and
+			// fits neither (a majority would dominate the average).
+			{Name: "split", Doc: "weight of the treacherous sub-population", Min: 0.1, Max: 0.9, Default: 0.3},
+		},
+		build: func(p map[string]float64, seed uint64) *workload.Spec {
+			s := familyBase(seed)
+			s.Name = "adversarial-mdc"
+			split := p["split"]
+			m := workload.BranchMix{
+				// The treacherous half: behaves like a well-trained biased
+				// branch (so its MDC counters climb) but flips at eps_hi.
+				Noisy: split,
+				// The trustworthy half: same trained appearance, residual
+				// rate eps_lo.
+				Biased: (1 - split) * 0.96,
+				// A little loop structure keeps the CFG mixing.
+				Loop:        (1 - split) * 0.04,
+				BiasedP:     1 - p["eps_lo"],
+				LoopTripMin: 20, LoopTripMax: 60,
+				PatternLenMin: 3, PatternLenMax: 8,
+				NoisyEps: p["eps_hi"],
+				RandomP:  0.5,
+			}
+			s.Phases = []workload.Phase{{Instructions: 1 << 62, Mix: m}}
+			return s
+		},
+	})
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseArg resolves one CLI scenario argument: a family name (e.g.
+// "interpreter") or a path to a scenario JSON file (suffix ".json")
+// holding either one scenario object or an array of them. Every returned
+// scenario is normalized.
+func ParseArg(entry string) ([]Scenario, error) {
+	entry = strings.TrimSpace(entry)
+	if entry == "" {
+		return nil, nil
+	}
+	if !strings.HasSuffix(entry, ".json") {
+		if !IsFamily(entry) {
+			return nil, fmt.Errorf("scenario: %q is neither a family (have %v) nor a .json file", entry, FamilyNames())
+		}
+		sc, err := Scenario{Family: entry}.Normalized()
+		if err != nil {
+			return nil, err
+		}
+		return []Scenario{sc}, nil
+	}
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		return nil, err
+	}
+	return parseDocs(entry, data)
+}
+
+// ParseArgs resolves a comma-separated list of ParseArg entries.
+func ParseArgs(list string) ([]Scenario, error) {
+	var out []Scenario
+	for _, entry := range strings.Split(list, ",") {
+		scs, err := ParseArg(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scs...)
+	}
+	return out, nil
+}
+
+func parseDocs(name string, data []byte) ([]Scenario, error) {
+	// Unknown fields are rejected, matching paco-serve's job decoding: a
+	// typo'd key must fail loudly, not silently compile the defaults.
+	strict := func(v any) error {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return fmt.Errorf("scenario: parsing %s: %w", name, err)
+		}
+		if dec.More() {
+			return fmt.Errorf("scenario: parsing %s: trailing data after JSON document", name)
+		}
+		return nil
+	}
+	trimmed := bytes.TrimSpace(data)
+	var raw []Scenario
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := strict(&raw); err != nil {
+			return nil, err
+		}
+	} else {
+		var sc Scenario
+		if err := strict(&sc); err != nil {
+			return nil, err
+		}
+		raw = []Scenario{sc}
+	}
+	out := make([]Scenario, len(raw))
+	for i, sc := range raw {
+		n, err := sc.Normalized()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s document %d: %w", name, i, err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

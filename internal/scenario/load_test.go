@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseArgFamily(t *testing.T) {
+	scs, err := ParseArg("loopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || scs[0].Family != "loopy" || scs[0].Seed == 0 {
+		t.Fatalf("family arg parsed wrong: %+v", scs)
+	}
+	if _, err := ParseArg("nonesuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestParseArgFiles(t *testing.T) {
+	single := writeTemp(t, "one.json", `{"family":"interpreter","params":{"targets":8}}`)
+	scs, err := ParseArg(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || scs[0].Params["targets"] != 8 {
+		t.Fatalf("single doc: %+v", scs)
+	}
+	array := writeTemp(t, "many.json", `[{"family":"loopy"},{"base":"gzip","name":"g2"}]`)
+	scs, err = ParseArg(array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[1].Name != "g2" {
+		t.Fatalf("array doc: %+v", scs)
+	}
+}
+
+// TestParseArgRejectsUnknownFields: file parsing is exactly as strict as
+// paco-serve's job decoding — a typo'd key must fail loudly, not
+// silently compile a different workload than the user specified.
+func TestParseArgRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"family":"loopy","parameters":{"trip_min":128}}`,             // params typo
+		`{"family":"loopy","ops":[{"override":{"working_set":2048}}]}`, // field typo
+		`{"family":"loopy"} trailing`,
+	}
+	for i, doc := range cases {
+		path := writeTemp(t, "bad.json", doc)
+		if _, err := ParseArg(path); err == nil {
+			t.Errorf("case %d: typo'd document accepted: %s", i, doc)
+		} else if !strings.Contains(err.Error(), "bad.json") {
+			t.Errorf("case %d: error %v does not name the file", i, err)
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	path := writeTemp(t, "x.json", `{"base":"twolf","name":"t2"}`)
+	scs, err := ParseArgs("loopy," + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Family != "loopy" || scs[1].Name != "t2" {
+		t.Fatalf("parsed: %+v", scs)
+	}
+}

@@ -1,0 +1,589 @@
+// Package scenario is the declarative workload layer: a serializable,
+// versioned description of a synthetic workload that compiles down to a
+// workload.Spec. Scenarios grow the workload space the way the campaign
+// grid grew the configuration space — a named family plus parameters, a
+// registered SPEC model, or either of those reshaped by composition
+// operators, all expressible as a small JSON document instead of a code
+// change.
+//
+// A scenario is pure data with a fully deterministic compilation:
+// Normalized fills every default (so equivalent spellings canonicalize to
+// identical JSON, which is what paco-serve's content-addressed cache
+// hashes), and Compile turns the normalized form into a workload.Spec
+// whose instruction stream depends only on the scenario bytes. The
+// package also ships a seeded fuzzer (fuzz.go) that samples valid
+// scenarios from each family's declared parameter ranges, for randomized
+// campaign sweeps that remain exactly reproducible.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"paco/internal/workload"
+)
+
+// FormatVersion is the current scenario format version; Normalized
+// stamps it and rejects documents from a newer format.
+const FormatVersion = 1
+
+// Scenario is one declarative workload description. Exactly one of
+// Family (a named workload family, see Families) or Base (a registered
+// benchmark model, e.g. "gzip") selects the starting spec; Ops then
+// reshape it in order.
+type Scenario struct {
+	// Version is the format version; zero means current (Normalized
+	// stamps FormatVersion).
+	Version int `json:"version,omitempty"`
+
+	// Name labels the compiled workload (job IDs, tables). Defaults to
+	// the family or base name.
+	Name string `json:"name,omitempty"`
+
+	// Seed makes the compiled workload deterministic. Zero selects a
+	// stable per-name default (spelled out by Normalized so the
+	// canonical form is explicit).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Family names a workload family; Params sets its parameters
+	// (unset parameters take the family defaults).
+	Family string             `json:"family,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+
+	// Base names a registered benchmark model to start from instead of
+	// a family.
+	Base string `json:"base,omitempty"`
+
+	// Ops are applied to the compiled base in order.
+	Ops []Op `json:"ops,omitempty"`
+}
+
+// Op is one composition operator. Exactly one field is set.
+type Op struct {
+	// Mix blends the branch population of every phase with another
+	// workload's phase-0 population.
+	Mix *MixOp `json:"mix,omitempty"`
+	// Splice appends another workload's phase schedule.
+	Splice *SpliceOp `json:"splice,omitempty"`
+	// PhaseMorph re-times the phase schedule.
+	PhaseMorph *PhaseMorphOp `json:"phase_morph,omitempty"`
+	// Override sets structural spec fields directly.
+	Override *OverrideOp `json:"override,omitempty"`
+}
+
+// MixOp blends branch mixes: weights and class parameters of every phase
+// move Alpha of the way toward the referenced workload's first phase.
+type MixOp struct {
+	With  Ref     `json:"with"`
+	Alpha float64 `json:"alpha"` // in (0, 1]
+}
+
+// SpliceOp appends the referenced workload's phases to the schedule.
+// Instructions, when nonzero, overrides each appended phase's budget;
+// otherwise effectively-unbounded single-phase budgets (the SPEC models'
+// 1<<62) are clamped to SpliceDefaultInstructions so the schedule keeps
+// cycling.
+type SpliceOp struct {
+	With         Ref    `json:"with"`
+	Instructions uint64 `json:"instructions,omitempty"`
+}
+
+// SpliceDefaultInstructions is the per-phase budget given to spliced-in
+// phases whose source budget is effectively unbounded.
+const SpliceDefaultInstructions = 200_000
+
+// spliceClampThreshold: phase budgets at or above this are treated as
+// "runs forever" and clamped on splice.
+const spliceClampThreshold = 1 << 40
+
+// PhaseMorphOp sets every phase's instruction budget to Period — the
+// phase-thrash knob: a period shorter than PaCo's MRT refresh makes the
+// bucket rates move faster than the estimator re-learns them.
+type PhaseMorphOp struct {
+	Period uint64 `json:"period"`
+}
+
+// OverrideOp sets structural spec fields; nil fields keep the compiled
+// value.
+type OverrideOp struct {
+	BlocksPerPhase  *int     `json:"blocks_per_phase,omitempty"`
+	AvgBlockLen     *int     `json:"avg_block_len,omitempty"`
+	LoadFrac        *float64 `json:"load_frac,omitempty"`
+	StoreFrac       *float64 `json:"store_frac,omitempty"`
+	LongLatFrac     *float64 `json:"long_lat_frac,omitempty"`
+	DepGeoP         *float64 `json:"dep_geo_p,omitempty"`
+	WorkingSetKB    *int     `json:"working_set_kb,omitempty"`
+	RandomAddrFrac  *float64 `json:"random_addr_frac,omitempty"`
+	CallFrac        *float64 `json:"call_frac,omitempty"`
+	ReturnFrac      *float64 `json:"return_frac,omitempty"`
+	IndirectFrac    *float64 `json:"indirect_frac,omitempty"`
+	IndirectTargets *int     `json:"indirect_targets,omitempty"`
+	StormEnter      *float64 `json:"storm_enter,omitempty"`
+	StormExit       *float64 `json:"storm_exit,omitempty"`
+	StormFlip       *float64 `json:"storm_flip,omitempty"`
+}
+
+// Ref names another workload inside an operator: a registered benchmark,
+// a family (with optional parameters), or a full nested scenario
+// (nesting is bounded by maxRefDepth).
+type Ref struct {
+	Benchmark string             `json:"benchmark,omitempty"`
+	Family    string             `json:"family,omitempty"`
+	Params    map[string]float64 `json:"params,omitempty"`
+	Scenario  *Scenario          `json:"scenario,omitempty"`
+}
+
+// maxRefDepth bounds scenario nesting through operator Refs, so a
+// fuzzed or hostile document cannot recurse unboundedly.
+const maxRefDepth = 4
+
+// paramSuffix returns the default-name suffix for a family scenario:
+// empty at the family defaults, otherwise a stable hash of the
+// normalized parameter map (json.Marshal sorts keys, so equivalent
+// documents derive equal names).
+func paramSuffix(family string, params map[string]float64) string {
+	fam, ok := familyByName(family)
+	if !ok {
+		return ""
+	}
+	atDefaults := true
+	for _, d := range fam.Params {
+		if params[d.Name] != d.Default {
+			atDefaults = false
+			break
+		}
+	}
+	if atDefaults {
+		return ""
+	}
+	data, err := json.Marshal(params)
+	if err != nil {
+		return ""
+	}
+	h := fnv.New32a()
+	h.Write(data)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// defaultSeed derives the stable seed Normalized spells out when the
+// document leaves Seed unset: a hash of the scenario name, so distinct
+// scenarios get distinct streams but the same document always gets the
+// same one.
+func defaultSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("scenario:" + name))
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Normalized validates the scenario and fills every default, returning
+// the canonical form: two documents that describe the same workload
+// normalize to equal values and therefore to identical canonical JSON —
+// the property the server's content-addressed cache key rests on.
+// Normalization is idempotent.
+func (sc Scenario) Normalized() (Scenario, error) {
+	return sc.normalized(0)
+}
+
+func (sc Scenario) normalized(depth int) (Scenario, error) {
+	if depth > maxRefDepth {
+		return Scenario{}, fmt.Errorf("scenario: nesting deeper than %d", maxRefDepth)
+	}
+	out := sc
+	if out.Version == 0 {
+		out.Version = FormatVersion
+	}
+	if out.Version != FormatVersion {
+		return Scenario{}, fmt.Errorf("scenario: unsupported format version %d (current %d)", out.Version, FormatVersion)
+	}
+	switch {
+	case out.Family != "" && out.Base != "":
+		return Scenario{}, fmt.Errorf("scenario: family %q and base %q are mutually exclusive", out.Family, out.Base)
+	case out.Family != "":
+		fam, ok := familyByName(out.Family)
+		if !ok {
+			return Scenario{}, fmt.Errorf("scenario: unknown family %q (have %v)", out.Family, FamilyNames())
+		}
+		p, err := fam.normalizedParams(out.Params)
+		if err != nil {
+			return Scenario{}, err
+		}
+		out.Params = p
+	case out.Base != "":
+		if len(out.Params) != 0 {
+			return Scenario{}, fmt.Errorf("scenario: params apply to families, not base %q", out.Base)
+		}
+		base, err := workload.NewBenchmark(out.Base)
+		if err != nil {
+			return Scenario{}, err
+		}
+		// A base scenario keeps the benchmark's curated seed unless the
+		// document overrides it, so {"base":"gzip"} runs the exact
+		// instruction stream the gzip model is calibrated on.
+		if out.Seed == 0 {
+			out.Seed = base.Seed
+		}
+	default:
+		return Scenario{}, fmt.Errorf("scenario: one of family or base is required")
+	}
+	if out.Name == "" {
+		out.Name = out.Family + out.Base // exactly one is nonempty
+		// A family at non-default parameters gets a deterministic suffix
+		// derived from the parameter values, so a parameter sweep —
+		// several unnamed documents of one family — needs no hand-invented
+		// names to keep grid cell names distinct.
+		if out.Family != "" {
+			if sfx := paramSuffix(out.Family, out.Params); sfx != "" {
+				out.Name += "-" + sfx
+			}
+		}
+	}
+	if out.Seed == 0 {
+		out.Seed = defaultSeed(out.Name)
+	}
+	if len(out.Ops) > 0 {
+		// Deep-copy the operator list (ops hold pointers — nested
+		// scenarios, override fields) so the normalized scenario shares
+		// no mutable state with the caller's document.
+		data, err := json.Marshal(out.Ops)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario %s: %w", out.Name, err)
+		}
+		var ops []Op
+		if err := json.Unmarshal(data, &ops); err != nil {
+			return Scenario{}, fmt.Errorf("scenario %s: %w", out.Name, err)
+		}
+		for i := range ops {
+			n, err := ops[i].normalized(depth)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("scenario %s: op %d: %w", out.Name, i, err)
+			}
+			ops[i] = n
+		}
+		out.Ops = ops
+	}
+	return out, nil
+}
+
+func (op Op) normalized(depth int) (Op, error) {
+	set := 0
+	if op.Mix != nil {
+		set++
+	}
+	if op.Splice != nil {
+		set++
+	}
+	if op.PhaseMorph != nil {
+		set++
+	}
+	if op.Override != nil {
+		set++
+	}
+	if set != 1 {
+		return Op{}, fmt.Errorf("exactly one operator field required, have %d", set)
+	}
+	// The caller deep-copied the op list, so normalization may update the
+	// operator structs in place.
+	switch {
+	case op.Mix != nil:
+		if op.Mix.Alpha <= 0 || op.Mix.Alpha > 1 {
+			return Op{}, fmt.Errorf("mix alpha %g outside (0, 1]", op.Mix.Alpha)
+		}
+		with, err := op.Mix.With.normalized(depth + 1)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Mix.With = with
+	case op.Splice != nil:
+		with, err := op.Splice.With.normalized(depth + 1)
+		if err != nil {
+			return Op{}, err
+		}
+		op.Splice.With = with
+	case op.PhaseMorph != nil:
+		if op.PhaseMorph.Period == 0 {
+			return Op{}, fmt.Errorf("phase_morph period must be positive")
+		}
+	case op.Override != nil:
+		// Structural overrides are validated by Spec.Validate at compile
+		// time; nothing to fill here.
+	}
+	return op, nil
+}
+
+func (r Ref) normalized(depth int) (Ref, error) {
+	set := 0
+	if r.Benchmark != "" {
+		set++
+	}
+	if r.Family != "" {
+		set++
+	}
+	if r.Scenario != nil {
+		set++
+	}
+	if set != 1 {
+		return Ref{}, fmt.Errorf("ref needs exactly one of benchmark, family, or scenario, have %d", set)
+	}
+	switch {
+	case r.Benchmark != "":
+		if len(r.Params) != 0 {
+			return Ref{}, fmt.Errorf("ref params apply to families, not benchmark %q", r.Benchmark)
+		}
+		if _, err := workload.NewBenchmark(r.Benchmark); err != nil {
+			return Ref{}, err
+		}
+	case r.Family != "":
+		fam, ok := familyByName(r.Family)
+		if !ok {
+			return Ref{}, fmt.Errorf("unknown family %q (have %v)", r.Family, FamilyNames())
+		}
+		p, err := fam.normalizedParams(r.Params)
+		if err != nil {
+			return Ref{}, err
+		}
+		r.Params = p
+	case r.Scenario != nil:
+		if len(r.Params) != 0 {
+			return Ref{}, fmt.Errorf("ref params apply to families, not nested scenarios")
+		}
+		n, err := r.Scenario.normalized(depth)
+		if err != nil {
+			return Ref{}, err
+		}
+		r.Scenario = &n
+	}
+	return r, nil
+}
+
+// compile resolves a Ref to a spec (for operator inputs).
+func (r Ref) compile(depth int) (*workload.Spec, error) {
+	switch {
+	case r.Benchmark != "":
+		return workload.NewBenchmark(r.Benchmark)
+	case r.Family != "":
+		fam, ok := familyByName(r.Family)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown family %q", r.Family)
+		}
+		p, err := fam.normalizedParams(r.Params)
+		if err != nil {
+			return nil, err
+		}
+		return fam.build(p, defaultSeed(r.Family)), nil
+	case r.Scenario != nil:
+		return r.Scenario.compile(depth)
+	}
+	return nil, fmt.Errorf("scenario: empty ref")
+}
+
+// Compile normalizes the scenario and builds its workload.Spec. The
+// result is a pure function of the scenario document: equal documents
+// compile to specs that generate byte-identical instruction streams.
+func (sc Scenario) Compile() (*workload.Spec, error) {
+	return sc.compile(0)
+}
+
+func (sc Scenario) compile(depth int) (*workload.Spec, error) {
+	n, err := sc.normalized(depth)
+	if err != nil {
+		return nil, err
+	}
+	var spec *workload.Spec
+	if n.Family != "" {
+		fam, _ := familyByName(n.Family)
+		spec = fam.build(n.Params, n.Seed)
+	} else {
+		spec, err = workload.NewBenchmark(n.Base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	spec.Name = n.Name
+	spec.Seed = n.Seed
+	for i, op := range n.Ops {
+		if err := op.apply(spec, depth); err != nil {
+			return nil, fmt.Errorf("scenario %s: op %d: %w", n.Name, i, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: compiled spec invalid: %w", n.Name, err)
+	}
+	return spec, nil
+}
+
+func (op Op) apply(spec *workload.Spec, depth int) error {
+	switch {
+	case op.Mix != nil:
+		other, err := op.Mix.With.compile(depth + 1)
+		if err != nil {
+			return err
+		}
+		for i := range spec.Phases {
+			spec.Phases[i].Mix = blendMix(spec.Phases[i].Mix, other.Phases[0].Mix, op.Mix.Alpha)
+		}
+	case op.Splice != nil:
+		other, err := op.Splice.With.compile(depth + 1)
+		if err != nil {
+			return err
+		}
+		for _, ph := range other.Phases {
+			budget := ph.Instructions
+			if op.Splice.Instructions > 0 {
+				budget = op.Splice.Instructions
+			} else if budget >= spliceClampThreshold {
+				budget = SpliceDefaultInstructions
+			}
+			spec.Phases = append(spec.Phases, workload.Phase{Instructions: budget, Mix: ph.Mix})
+		}
+		// The host's own unbounded phase would starve the spliced ones.
+		for i := range spec.Phases {
+			if spec.Phases[i].Instructions >= spliceClampThreshold {
+				spec.Phases[i].Instructions = SpliceDefaultInstructions
+			}
+		}
+	case op.PhaseMorph != nil:
+		for i := range spec.Phases {
+			spec.Phases[i].Instructions = op.PhaseMorph.Period
+		}
+	case op.Override != nil:
+		op.Override.apply(spec)
+	}
+	return nil
+}
+
+func (o *OverrideOp) apply(spec *workload.Spec) {
+	setInt := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setInt(&spec.BlocksPerPhase, o.BlocksPerPhase)
+	setInt(&spec.AvgBlockLen, o.AvgBlockLen)
+	setF(&spec.LoadFrac, o.LoadFrac)
+	setF(&spec.StoreFrac, o.StoreFrac)
+	setF(&spec.LongLatFrac, o.LongLatFrac)
+	setF(&spec.DepGeoP, o.DepGeoP)
+	setInt(&spec.WorkingSetKB, o.WorkingSetKB)
+	setF(&spec.RandomAddrFrac, o.RandomAddrFrac)
+	setF(&spec.CallFrac, o.CallFrac)
+	setF(&spec.ReturnFrac, o.ReturnFrac)
+	setF(&spec.IndirectFrac, o.IndirectFrac)
+	setInt(&spec.IndirectTargets, o.IndirectTargets)
+	setF(&spec.StormEnter, o.StormEnter)
+	setF(&spec.StormExit, o.StormExit)
+	setF(&spec.StormFlip, o.StormFlip)
+}
+
+// blendMix moves mix a a fraction alpha of the way toward mix b: class
+// weights blend on normalized scales (so differently scaled mixes blend
+// by share, not raw magnitude) and class parameters blend linearly after
+// default-filling, matching how the branch generators default them.
+func blendMix(a, b workload.BranchMix, alpha float64) workload.BranchMix {
+	an, bn := normalizeMixWeights(a), normalizeMixWeights(b)
+	lerp := func(x, y float64) float64 { return x + alpha*(y-x) }
+	lerpI := func(x, y int) int {
+		v := int(math.Round(float64(x) + alpha*float64(y-x)))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	out := workload.BranchMix{
+		Biased:        lerp(an.Biased, bn.Biased),
+		Loop:          lerp(an.Loop, bn.Loop),
+		Pattern:       lerp(an.Pattern, bn.Pattern),
+		Correlated:    lerp(an.Correlated, bn.Correlated),
+		Noisy:         lerp(an.Noisy, bn.Noisy),
+		Random:        lerp(an.Random, bn.Random),
+		BiasedP:       lerp(an.BiasedP, bn.BiasedP),
+		LoopTripMin:   lerpI(an.LoopTripMin, bn.LoopTripMin),
+		LoopTripMax:   lerpI(an.LoopTripMax, bn.LoopTripMax),
+		PatternLenMin: lerpI(an.PatternLenMin, bn.PatternLenMin),
+		PatternLenMax: lerpI(an.PatternLenMax, bn.PatternLenMax),
+		NoisyEps:      lerp(an.NoisyEps, bn.NoisyEps),
+		RandomP:       lerp(an.RandomP, bn.RandomP),
+	}
+	if out.LoopTripMax < out.LoopTripMin {
+		out.LoopTripMax = out.LoopTripMin
+	}
+	if out.PatternLenMax < out.PatternLenMin {
+		out.PatternLenMax = out.PatternLenMin
+	}
+	return out
+}
+
+// normalizeMixWeights scales class weights to sum 1 and fills parameter
+// defaults (the same fallbacks workload's branch constructors use), so
+// blending never mixes a real value with an unset zero.
+func normalizeMixWeights(m workload.BranchMix) workload.BranchMix {
+	total := m.Biased + m.Loop + m.Pattern + m.Correlated + m.Noisy + m.Random
+	if total > 0 {
+		m.Biased /= total
+		m.Loop /= total
+		m.Pattern /= total
+		m.Correlated /= total
+		m.Noisy /= total
+		m.Random /= total
+	}
+	if m.BiasedP <= 0 {
+		m.BiasedP = 0.98
+	}
+	if m.LoopTripMin <= 1 {
+		m.LoopTripMin = 4
+	}
+	if m.LoopTripMax < m.LoopTripMin {
+		m.LoopTripMax = m.LoopTripMin
+	}
+	if m.PatternLenMin <= 0 {
+		m.PatternLenMin = 3
+	}
+	if m.PatternLenMax < m.PatternLenMin {
+		m.PatternLenMax = 8
+		if m.PatternLenMax < m.PatternLenMin {
+			m.PatternLenMax = m.PatternLenMin
+		}
+	}
+	if m.NoisyEps <= 0 {
+		m.NoisyEps = 0.10
+	}
+	if m.RandomP <= 0 {
+		m.RandomP = 0.5
+	}
+	return m
+}
+
+// MarshalCanonical returns the scenario's canonical bytes: the JSON of
+// the normalized form. Go's encoder emits struct fields in declaration
+// order and map keys sorted, so equivalent documents (field order,
+// spelled-out defaults, parameter spelling) marshal identically.
+func (sc Scenario) MarshalCanonical() ([]byte, error) {
+	n, err := sc.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Hash is the scenario's canonical content hash — SHA-256 over
+// MarshalCanonical — the provenance stamp paco-trace writes into trace
+// headers so a recorded stream names exactly the workload that produced
+// it.
+func (sc Scenario) Hash() ([32]byte, error) {
+	canon, err := sc.MarshalCanonical()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(canon), nil
+}

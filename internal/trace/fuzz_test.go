@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	var prov [32]byte
+	for i := range prov {
+		prov[i] = byte(i + 1)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriterProvenance(&buf, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Kind: EvCycle, PC: 64}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FormatVersion() != Version {
+		t.Fatalf("version = %d", r.FormatVersion())
+	}
+	if r.Provenance() != prov {
+		t.Fatalf("provenance = %x", r.Provenance())
+	}
+	if ev, err := r.Read(); err != nil || ev.Kind != EvCycle {
+		t.Fatalf("record after provenance header: %+v, %v", ev, err)
+	}
+}
+
+// TestVersion1StillReadable: provenance-less version 1 streams decode
+// unchanged.
+func TestVersion1StillReadable(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	buf.Write(hdr[:])
+	var rec [recordSize]byte
+	rec[0] = byte(EvCycle)
+	binary.LittleEndian.PutUint64(rec[9:], 128) // PC field
+	buf.Write(rec[:])
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FormatVersion() != 1 || r.Provenance() != [32]byte{} {
+		t.Fatalf("v1 header misread: version %d provenance %x", r.FormatVersion(), r.Provenance())
+	}
+	ev, err := r.Read()
+	if err != nil || ev.Kind != EvCycle || ev.PC != 128 {
+		t.Fatalf("v1 record: %+v, %v", ev, err)
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestTruncatedProvenanceRejected(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], 2)
+	data := append(hdr[:], 1, 2, 3) // 3 of 32 provenance bytes
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// FuzzReader is the decoder's robustness fuzz target: whatever the
+// bytes, the decoder must return an error — it must never panic, hang,
+// or over-read. Replay of whatever decodes is exercised too, since its
+// tag bookkeeping is part of the decode surface.
+func FuzzReader(f *testing.F) {
+	// Seed corpus: a valid stream, a version-1 stream, truncations, and
+	// corruptions of each interesting field.
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Write(Event{Kind: EvFetch, Tag: 1, PC: 0x1000, History: 0xAB, MDC: 7, Flags: 1})
+		w.Write(Event{Kind: EvCycle, PC: 64})
+		w.Write(Event{Kind: EvResolve, Tag: 1})
+		w.Write(Event{Kind: EvRetire, PC: 0x1000, History: 0xAB, MDC: 7, Flags: 3})
+		w.Flush()
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated record
+	f.Add(valid[:9])            // truncated provenance
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{})
+
+	corruptKind := append([]byte(nil), valid...)
+	corruptKind[8+32] = 99 // first record's kind byte
+	f.Add(corruptKind)
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 77
+	f.Add(badVersion)
+
+	orphan := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Write(Event{Kind: EvResolve, Tag: 42})
+		w.Flush()
+		return buf.Bytes()
+	}()
+	f.Add(orphan)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+		// Replay the same bytes through the full pipeline (fresh reader;
+		// the first was consumed).
+		if r2, err := NewReader(bytes.NewReader(data)); err == nil {
+			_, _ = Replay(r2, nil)
+		}
+	})
+}

@@ -19,10 +19,21 @@ import (
 )
 
 // Magic identifies a trace stream; Version is bumped on format changes.
+//
+// Version history:
+//
+//	1: magic + version, fixed-size records.
+//	2: adds a 32-byte provenance hash to the header — the canonical
+//	   content hash of the scenario that generated the traced workload
+//	   (zero when the trace was not scenario-driven). Readers accept
+//	   both versions.
 const (
 	Magic   = 0x5061436f // "PaCo"
-	Version = 1
+	Version = 2
 )
+
+// provenanceSize is the provenance hash length in version >= 2 headers.
+const provenanceSize = 32
 
 // EventKind tags one record.
 type EventKind uint8
@@ -60,12 +71,21 @@ type Writer struct {
 	n   uint64
 }
 
-// NewWriter writes a header and returns a trace writer.
+// NewWriter writes a header with zero provenance and returns a trace
+// writer.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterProvenance(w, [provenanceSize]byte{})
+}
+
+// NewWriterProvenance writes a header stamped with the given provenance
+// hash (the canonical scenario hash of the traced workload) and returns
+// a trace writer.
+func NewWriterProvenance(w io.Writer, provenance [provenanceSize]byte) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	var hdr [8]byte
+	var hdr [8 + provenanceSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
 	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	copy(hdr[8:], provenance[:])
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
@@ -94,14 +114,17 @@ func (tw *Writer) Flush() error { return tw.w.Flush() }
 
 // Reader deserializes events.
 type Reader struct {
-	r   *bufio.Reader
-	buf [recordSize]byte
+	r          *bufio.Reader
+	buf        [recordSize]byte
+	version    uint32
+	provenance [provenanceSize]byte
 }
 
 // ErrBadHeader reports a stream that is not a PaCo trace.
 var ErrBadHeader = errors.New("trace: bad header")
 
-// NewReader validates the header and returns a trace reader.
+// NewReader validates the header and returns a trace reader. Version 1
+// streams (no provenance) remain readable.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
@@ -111,11 +134,26 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
 		return nil, ErrBadHeader
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	tr := &Reader{r: br, version: binary.LittleEndian.Uint32(hdr[4:])}
+	switch tr.version {
+	case 1:
+		// No provenance field.
+	case 2:
+		if _, err := io.ReadFull(br, tr.provenance[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated provenance: %v", ErrBadHeader, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, tr.version)
 	}
-	return &Reader{r: br}, nil
+	return tr, nil
 }
+
+// FormatVersion returns the stream's header version.
+func (tr *Reader) FormatVersion() uint32 { return tr.version }
+
+// Provenance returns the header's canonical scenario hash; the zero
+// value means the trace was not scenario-driven (or is version 1).
+func (tr *Reader) Provenance() [provenanceSize]byte { return tr.provenance }
 
 // Read returns the next event, or io.EOF at end of stream.
 func (tr *Reader) Read() (Event, error) {

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// sharedRefs walks two values of the same type in lockstep and reports
+// every reference (pointer, slice backing array, map, chan, func) the two
+// share. It is deliberately generic: a field added to Spec tomorrow is
+// checked without anyone remembering to update a hand-written copy test.
+func sharedRefs(path string, a, b reflect.Value) []string {
+	var out []string
+	switch a.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		if !a.IsNil() && !b.IsNil() && a.Pointer() == b.Pointer() {
+			return []string{fmt.Sprintf("%s: shared %s", path, a.Kind())}
+		}
+		if a.Kind() == reflect.Pointer && !a.IsNil() && !b.IsNil() {
+			out = append(out, sharedRefs(path, a.Elem(), b.Elem())...)
+		}
+	case reflect.Slice:
+		if a.Len() > 0 && b.Len() > 0 && a.Pointer() == b.Pointer() {
+			return []string{fmt.Sprintf("%s: shared slice backing array", path)}
+		}
+		n := a.Len()
+		if b.Len() < n {
+			n = b.Len()
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, sharedRefs(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))...)
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			f := a.Type().Field(i)
+			out = append(out, sharedRefs(path+"."+f.Name, a.Field(i), b.Field(i))...)
+		}
+	case reflect.Interface:
+		if !a.IsNil() && !b.IsNil() {
+			out = append(out, sharedRefs(path, a.Elem(), b.Elem())...)
+		}
+	}
+	return out
+}
+
+// TestNewBenchmarkSharesNoMutableState is the deep-copy regression test:
+// a Spec returned by NewBenchmark must share no mutable state with the
+// registry entry, and two returned Specs must share none with each
+// other — otherwise one caller's tweak corrupts every later run.
+func TestNewBenchmarkSharesNoMutableState(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		got := MustBenchmark(name)
+		reg := specs[name]
+		if shared := sharedRefs(name, reflect.ValueOf(got).Elem(), reflect.ValueOf(reg).Elem()); len(shared) > 0 {
+			t.Errorf("NewBenchmark(%s) aliases the registry:\n%v", name, shared)
+		}
+		again := MustBenchmark(name)
+		if shared := sharedRefs(name, reflect.ValueOf(got).Elem(), reflect.ValueOf(again).Elem()); len(shared) > 0 {
+			t.Errorf("two NewBenchmark(%s) results alias each other:\n%v", name, shared)
+		}
+	}
+}
+
+// TestSharedRefsDetects proves the detector actually fires: a shallow
+// copy of a multi-phase spec must be reported.
+func TestSharedRefsDetects(t *testing.T) {
+	orig := MustBenchmark("gcc")
+	shallow := *orig // Phases backing array shared
+	if shared := sharedRefs("gcc", reflect.ValueOf(orig).Elem(), reflect.ValueOf(&shallow).Elem()); len(shared) == 0 {
+		t.Fatal("sharedRefs missed a shared Phases slice")
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := MustBenchmark("mcf")
+	cp := orig.Clone()
+	if shared := sharedRefs("mcf", reflect.ValueOf(orig).Elem(), reflect.ValueOf(cp).Elem()); len(shared) > 0 {
+		t.Fatalf("Clone aliases its source:\n%v", shared)
+	}
+	cp.Phases[0].Instructions = 1
+	cp.Seed = 999
+	if orig.Phases[0].Instructions == 1 || orig.Seed == 999 {
+		t.Fatal("mutating a clone reached the original")
+	}
+}

@@ -66,6 +66,17 @@ type Spec struct {
 	StormEnter, StormExit, StormFlip float64
 }
 
+// Clone returns a deep copy of the spec: the returned value shares no
+// mutable state with s, so callers may tweak it freely (the registry,
+// the campaign engine, and the scenario compiler all rely on this).
+// TestNewBenchmarkSharesNoMutableState walks the type with reflection so
+// a future reference-typed field cannot silently alias.
+func (s *Spec) Clone() *Spec {
+	cp := *s
+	cp.Phases = append([]Phase(nil), s.Phases...)
+	return &cp
+}
+
 // Validate reports configuration errors.
 func (s *Spec) Validate() error {
 	if s.Name == "" {
@@ -95,6 +106,27 @@ func (s *Spec) Validate() error {
 	}
 	if s.WorkingSetKB <= 0 {
 		return fmt.Errorf("workload %s: WorkingSetKB must be positive", s.Name)
+	}
+	// Probability-valued knobs must be probabilities: out-of-range values
+	// would not crash (the samplers clamp), they would silently build a
+	// degenerate workload — and scenario overrides feed this field-by-field.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LoadFrac", s.LoadFrac}, {"StoreFrac", s.StoreFrac},
+		{"LongLatFrac", s.LongLatFrac}, {"DepGeoP", s.DepGeoP},
+		{"RandomAddrFrac", s.RandomAddrFrac}, {"JumpFrac", s.JumpFrac},
+		{"CallFrac", s.CallFrac}, {"ReturnFrac", s.ReturnFrac},
+		{"IndirectFrac", s.IndirectFrac}, {"StormEnter", s.StormEnter},
+		{"StormExit", s.StormExit}, {"StormFlip", s.StormFlip},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload %s: %s=%g outside [0, 1]", s.Name, f.name, f.v)
+		}
+	}
+	if s.IndirectTargets < 0 {
+		return fmt.Errorf("workload %s: IndirectTargets must be non-negative, got %d", s.Name, s.IndirectTargets)
 	}
 	return nil
 }

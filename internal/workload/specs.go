@@ -23,9 +23,13 @@ func NewBenchmark(name string) (*Spec, error) {
 		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, BenchmarkNames)
 	}
 	// Return a copy so callers can tweak without aliasing the registry.
-	cp := *spec
-	cp.Phases = append([]Phase(nil), spec.Phases...)
-	return &cp, nil
+	return spec.Clone(), nil
+}
+
+// IsBenchmark reports whether name is a registered benchmark model.
+func IsBenchmark(name string) bool {
+	_, ok := specs[name]
+	return ok
 }
 
 // MustBenchmark is NewBenchmark for known-good names; it panics on error.

@@ -37,6 +37,7 @@ import (
 	"paco/internal/experiments"
 	"paco/internal/gating"
 	"paco/internal/perf"
+	"paco/internal/scenario"
 	"paco/internal/server"
 	"paco/internal/smt"
 	"paco/internal/version"
@@ -252,6 +253,39 @@ type CampaignGrid = campaign.Grid
 // CampaignSnapshot is a point-in-time view of a running campaign's
 // queued/running/done job counts (see (*CampaignRunner).Snapshot).
 type CampaignSnapshot = campaign.Snapshot
+
+// Declarative workload scenarios (see internal/scenario): a versioned
+// JSON document — a named workload family with parameters, or a bundled
+// benchmark, reshaped by composition operators — that compiles to a
+// Workload. Scenarios ride every sweep surface: CampaignGrid.Scenarios,
+// the paco-campaign/-serve job specs, and paco-trace provenance.
+type (
+	// Scenario is one declarative workload description.
+	Scenario = scenario.Scenario
+	// ScenarioOp is one composition operator (mix, splice, phase_morph,
+	// override).
+	ScenarioOp = scenario.Op
+	// ScenarioFamily is a named, parameterized workload family.
+	ScenarioFamily = scenario.Family
+	// ScenarioFuzzSpec names a deterministic batch of fuzzed scenarios.
+	ScenarioFuzzSpec = scenario.FuzzSpec
+)
+
+// ScenarioFamilies returns the registered workload families in name
+// order.
+func ScenarioFamilies() []*ScenarioFamily { return scenario.Families() }
+
+// CompileScenario normalizes a scenario document and compiles it to a
+// runnable workload spec.
+func CompileScenario(sc Scenario) (*Workload, error) { return sc.Compile() }
+
+// FuzzScenarios deterministically samples n valid scenarios from the
+// declared family parameter ranges: the same seed always returns the
+// same documents, and each compiles to a byte-identical instruction
+// stream.
+func FuzzScenarios(seed uint64, n int) ([]Scenario, error) {
+	return scenario.FuzzSpec{Seed: seed, Count: n}.Generate()
+}
 
 // Simulation service (see internal/server and DESIGN.md §6): an
 // HTTP/JSON front end over the campaign engine with a content-addressed

@@ -77,8 +77,35 @@ func TestPublicGates(t *testing.T) {
 	}
 }
 
+// TestPublicScenarios exercises the declarative-workload surface: list
+// the families, compile a document, and fuzz a reproducible batch.
+func TestPublicScenarios(t *testing.T) {
+	fams := ScenarioFamilies()
+	if len(fams) != 6 {
+		t.Fatalf("families = %d", len(fams))
+	}
+	w, err := CompileScenario(Scenario{Family: "interpreter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "interpreter" || w.IndirectFrac <= 0.1 {
+		t.Fatalf("compiled spec: %+v", w)
+	}
+	a, err := FuzzScenarios(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FuzzScenarios(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || a[0].Name != b[0].Name || a[0].Seed != b[0].Seed {
+		t.Fatalf("fuzz not reproducible: %+v vs %+v", a, b)
+	}
+}
+
 func TestPublicExperiments(t *testing.T) {
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Fatalf("experiments = %v", Experiments())
 	}
 	cfg := QuickExperimentConfig()
