@@ -36,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,36 +54,47 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "paco-campaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	benchmarks := flag.String("benchmarks", "all", "comma-separated benchmark names, or 'all'")
-	scenarios := flag.String("scenario", "", "comma-separated scenario families or .json scenario files to sweep")
-	fuzzCount := flag.Int("fuzz", 0, "append N scenarios sampled from the family parameter ranges")
-	fuzzSeed := flag.Uint64("fuzz-seed", 1, "seed for -fuzz sampling (same seed, same scenarios)")
-	instructions := flag.Uint64("instructions", 600_000, "measured instructions per cell")
-	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per cell")
-	refreshes := flag.String("refresh", "200000", "comma-separated MRT refresh periods (cycles)")
-	widths := flag.String("widths", "4", "comma-separated machine widths (fetch/retire/FU)")
-	probGates := flag.String("probgates", "", "comma-separated PaCo gating targets (e.g. 0.1,0.2); empty = ungated")
-	thresholds := flag.String("thresholds", "", "comma-separated JRS thresholds for conventional gating cells")
-	gateCount := flag.Int("gatecount", 3, "gate-count used with -thresholds")
-	seed := flag.Uint64("seed", 0, "workload seed override (0 = per-benchmark default)")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
-	format := flag.String("format", "json", "output format: json or csv")
-	out := flag.String("out", "", "write results to a file instead of stdout")
-	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to a file")
-	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to a file")
-	showVersion := flag.Bool("version", false, "print the build stamp and exit")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("paco-campaign", flag.ContinueOnError)
+	// Parse errors return to main (printed once there); -h/-help prints
+	// usage and exits 0 like the old global flag set did.
+	fs.SetOutput(io.Discard)
+	benchmarks := fs.String("benchmarks", "all", "comma-separated benchmark names, or 'all'")
+	scenarios := fs.String("scenario", "", "comma-separated scenario families or .json scenario files to sweep")
+	fuzzCount := fs.Int("fuzz", 0, "append N scenarios sampled from the family parameter ranges")
+	fuzzSeed := fs.Uint64("fuzz-seed", 1, "seed for -fuzz sampling (same seed, same scenarios)")
+	instructions := fs.Uint64("instructions", 600_000, "measured instructions per cell")
+	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per cell")
+	refreshes := fs.String("refresh", "200000", "comma-separated MRT refresh periods (cycles)")
+	widths := fs.String("widths", "4", "comma-separated machine widths (fetch/retire/FU)")
+	probGates := fs.String("probgates", "", "comma-separated PaCo gating targets (e.g. 0.1,0.2); empty = ungated")
+	thresholds := fs.String("thresholds", "", "comma-separated JRS thresholds for conventional gating cells")
+	gateCount := fs.Int("gatecount", 3, "gate-count used with -thresholds")
+	seed := fs.Uint64("seed", 0, "workload seed override (0 = per-benchmark default)")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
+	format := fs.String("format", "json", "output format: json or csv")
+	out := fs.String("out", "", "write results to a file instead of stdout")
+	quiet := fs.Bool("quiet", false, "suppress progress on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to a file")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the sweep to a file")
+	showVersion := fs.Bool("version", false, "print the build stamp and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stderr)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	if *showVersion {
-		version.Fprint(os.Stdout, "paco-campaign")
+		version.Fprint(stdout, "paco-campaign")
 		return nil
 	}
 	if *format != "json" && *format != "csv" {
@@ -103,7 +115,7 @@ func run() error {
 		Seed:         *seed,
 	}
 	benchExplicit := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "benchmarks" {
 			benchExplicit = true
 		}
@@ -159,7 +171,7 @@ func run() error {
 
 	// Create the output file before the sweep so an unwritable path
 	// fails in milliseconds, not after hours of simulation.
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -176,31 +188,45 @@ func run() error {
 			if r.Failed() {
 				status = r.Err
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, r.JobID, status)
+			fmt.Fprintf(stderr, "[%d/%d] %s: %s\n", done, total, r.JobID, status)
 		}
 	}
-	start := time.Now()
-	// Write whatever completed even if some cells failed: each Result
-	// carries its own error, and discarding an hours-long sweep over one
-	// bad cell helps nobody. The first failure is still reported via the
-	// exit status. Profiling wraps only the sweep itself, so flag errors
-	// above never leave profile files behind.
+	// Profiling wraps only the sweep itself, so flag errors above never
+	// leave profile files behind.
 	return perf.WithProfiles(*cpuprofile, *memprofile, func() error {
-		results, runErr := runner.Run(context.Background(), campaignJobs)
-		var writeErr error
-		if *format == "json" {
-			writeErr = campaign.WriteJSON(w, results)
-		} else {
-			writeErr = campaign.WriteCSV(w, results)
-		}
-		if writeErr != nil {
-			return writeErr
-		}
-		s := campaign.Summarize(results)
-		fmt.Fprintf(os.Stderr, "[%d cells (%d failed), mean IPC %.3f, %v at -j %d]\n",
-			s.Jobs, s.Failed+s.Skipped, s.MeanIPC, time.Since(start).Round(time.Millisecond), *jobs)
-		return runErr
+		return runSweep(&runner, campaignJobs, w, *format, stderr, *jobs)
 	})
+}
+
+// runSweep executes the campaign, writes the report, and converts any
+// cell failure into a nonzero exit. Results are written even when cells
+// failed: each Result carries its own error, and discarding an
+// hours-long sweep over one bad cell helps nobody — but a sweep with a
+// failed cell must never exit 0, so after the report is safely on disk
+// the first failing job is named in the returned error (campaign:
+// job N (id): cause), independent of how the runner reported it.
+func runSweep(runner *campaign.Runner, jobs []campaign.Job, w io.Writer, format string, stderr io.Writer, workers int) error {
+	start := time.Now()
+	results, runErr := runner.Run(context.Background(), jobs)
+	var writeErr error
+	if format == "json" {
+		writeErr = campaign.WriteJSON(w, results)
+	} else {
+		writeErr = campaign.WriteCSV(w, results)
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	s := campaign.Summarize(results)
+	fmt.Fprintf(stderr, "[%d cells (%d failed), mean IPC %.3f, %v at -j %d]\n",
+		s.Jobs, s.Failed+s.Skipped, s.MeanIPC, time.Since(start).Round(time.Millisecond), workers)
+	if runErr != nil {
+		return runErr
+	}
+	// Belt over the runner contract: even if a future Runner stops
+	// folding cell failures into its return value, a failed cell still
+	// fails the process.
+	return campaign.FirstError(results)
 }
 
 func parseUints(s string) ([]uint64, error) {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"paco/internal/campaign"
+)
+
+// TestFailingCellExitsNonzeroNamingJob is the regression test for the
+// exit-status contract: a campaign with a failing cell must return a
+// nonzero-exit error that names the failing job on stderr, while the
+// report (with the failure recorded per cell) is still written in full.
+func TestFailingCellExitsNonzeroNamingJob(t *testing.T) {
+	jobs := []campaign.Job{
+		{ID: "ok-cell", Benchmark: "ok", Exec: func(context.Context) (*campaign.Result, error) {
+			return &campaign.Result{Cycles: 10}, nil
+		}},
+		{ID: "bad-cell", Benchmark: "bad", Exec: func(context.Context) (*campaign.Result, error) {
+			return nil, errors.New("simulated blow-up")
+		}},
+	}
+	var out, errBuf bytes.Buffer
+	runner := &campaign.Runner{Workers: 1}
+	err := runSweep(runner, jobs, &out, "json", &errBuf, 1)
+	if err == nil {
+		t.Fatal("runSweep returned nil for a campaign with a failing cell; main would exit 0")
+	}
+	if !strings.Contains(err.Error(), "bad-cell") || !strings.Contains(err.Error(), "simulated blow-up") {
+		t.Fatalf("error %q does not name the failing job and cause", err)
+	}
+	// The report still contains every cell, the failed one with its
+	// error recorded.
+	var results []campaign.Result
+	if jsonErr := json.Unmarshal(out.Bytes(), &results); jsonErr != nil {
+		t.Fatalf("report not written despite the failure: %v", jsonErr)
+	}
+	if len(results) != 2 || results[1].Err != "simulated blow-up" {
+		t.Fatalf("report = %+v, want both cells with the failure recorded", results)
+	}
+	if !strings.Contains(errBuf.String(), "(1 failed)") {
+		t.Fatalf("stderr footer %q does not count the failure", errBuf.String())
+	}
+}
+
+// TestFailingCellNonzeroExitCSV: the exit contract holds for the CSV
+// writer path too, and an empty campaign still succeeds.
+func TestFailingCellNonzeroExitCSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	jobs := []campaign.Job{
+		{ID: "csv-bad", Benchmark: "bad", Exec: func(context.Context) (*campaign.Result, error) {
+			return nil, errors.New("boom")
+		}},
+	}
+	err := runSweep(&campaign.Runner{Workers: 1}, jobs, &out, "csv", &errBuf, 1)
+	if err == nil || !strings.Contains(err.Error(), "csv-bad") {
+		t.Fatalf("CSV sweep with failing cell returned %v, want error naming csv-bad", err)
+	}
+	if !strings.Contains(out.String(), "boom") {
+		t.Fatalf("CSV report %q does not record the cell failure", out.String())
+	}
+
+	out.Reset()
+	if err := runSweep(&campaign.Runner{Workers: 1}, nil, &out, "json", &errBuf, 1); err != nil {
+		t.Fatalf("empty campaign should succeed, got %v", err)
+	}
+}
+
+// TestRunTinySweepEndToEnd drives the real CLI path — flags, grid
+// normalization, execution, JSON report — in process.
+func TestRunTinySweepEndToEnd(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-benchmarks", "gzip",
+		"-instructions", "2000",
+		"-warmup", "500",
+		"-quiet",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	var results []campaign.Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not a JSON result slice: %v", err)
+	}
+	if len(results) != 1 || results[0].Benchmark != "gzip" || results[0].Err != "" {
+		t.Fatalf("results = %+v, want one clean gzip cell", results)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and succeeds (exit 0), like the
+// global flag set used to; a real flag error still fails.
+func TestHelpExitsZero(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errBuf); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(errBuf.String(), "-benchmarks") {
+		t.Fatalf("-h did not print usage: %q", errBuf.String())
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-gatecount", "0"},
+		{"-benchmarks", "nope"},
+	} {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Fatalf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

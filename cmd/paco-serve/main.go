@@ -1,24 +1,37 @@
 // Command paco-serve runs the simulation service: an HTTP/JSON front end
 // over the campaign engine with a content-addressed result cache, so
-// repeated identical configurations never re-simulate.
+// repeated identical configurations never re-simulate. With -shards it
+// becomes a federation coordinator that fans each submitted sweep out
+// over remote workers; with -coordinator it becomes such a worker.
 //
 // Usage:
 //
 //	paco-serve [flags]
+//	paco-serve -coordinator http://host:8344 [-worker-name w1] [-j N]
 //
 // Endpoints:
 //
 //	POST /v1/jobs                 submit a run or sweep (campaign.Grid JSON)
 //	GET  /v1/jobs/{id}            job status + results
+//	GET  /v1/jobs/{id}/results    bare result slice (campaign.WriteJSON bytes)
 //	GET  /v1/jobs/{id}/events     SSE progress stream
+//	POST /v1/shards/lease         worker protocol: lease the next shard
+//	POST /v1/shards/{id}/renew    worker protocol: keep a slow shard's lease alive
+//	POST /v1/shards/{id}/result   worker protocol: post shard results
 //	GET  /v1/experiments/{name}   paper figure/table, byte-identical to the CLI
-//	GET  /metrics                 Prometheus text metrics
+//	GET  /metrics                 Prometheus text metrics (incl. federation)
 //	GET  /healthz                 liveness + build stamp
 //
 // Examples:
 //
 //	# serve on :8344 with a 128 MiB cache persisted across restarts
 //	paco-serve -cache-mb 128 -cache-dir /var/cache/paco
+//
+//	# a 2-worker federation: sweeps shard across the workers, and the
+//	# merged report is byte-identical to a single-process run
+//	paco-serve -shards 2 -addr :8344 &
+//	paco-serve -coordinator http://localhost:8344 -worker-name w1 &
+//	paco-serve -coordinator http://localhost:8344 -worker-name w2 &
 //
 //	# submit a sweep and read it back
 //	curl -s localhost:8344/v1/jobs -d '{"benchmarks":["gzip","twolf"]}'
@@ -61,6 +74,11 @@ func run() error {
 	quick := flag.Bool("quick", false, "serve /v1/experiments at the small test-scale configuration")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	shards := flag.Int("shards", 0, "coordinator mode: split each sweep into up to N shards for federation workers (0 = execute locally)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: re-lease a shard this long after its worker goes silent")
+	coordinator := flag.String("coordinator", "", "worker mode: lease shards from this coordinator URL instead of serving")
+	workerName := flag.String("worker-name", "", "worker mode: name reported to the coordinator (default hostname-pid)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "worker mode: idle poll interval")
 	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
 
@@ -69,18 +87,30 @@ func run() error {
 		return nil
 	}
 
+	logger := log.New(os.Stderr, "paco-serve: ", log.LstdFlags)
+	if *coordinator != "" {
+		return runWorker(server.WorkerConfig{
+			Coordinator: *coordinator,
+			Name:        *workerName,
+			SimWorkers:  *simWorkers,
+			Poll:        *poll,
+			Log:         workerLog(logger, *quiet),
+		}, logger)
+	}
+
 	cfg := server.Config{
 		JobWorkers: *jobWorkers,
 		SimWorkers: *simWorkers,
 		QueueSize:  *queueSize,
 		CacheBytes: *cacheMB << 20,
 		CacheDir:   *cacheDir,
+		Shards:     *shards,
+		LeaseTTL:   *leaseTTL,
 	}
 	if *quick {
 		q := experiments.Quick()
 		cfg.Experiments = &q
 	}
-	logger := log.New(os.Stderr, "paco-serve: ", log.LstdFlags)
 	if !*quiet {
 		cfg.Log = logger
 	}
@@ -102,8 +132,12 @@ func run() error {
 			return err
 		}
 	}
-	logger.Printf("%s listening on %s (experiments: %s scale)",
-		version.Get(), bound, map[bool]string{false: "full", true: "quick"}[*quick])
+	mode := "local execution"
+	if *shards >= 1 {
+		mode = fmt.Sprintf("coordinator, up to %d shards per sweep", *shards)
+	}
+	logger.Printf("%s listening on %s (experiments: %s scale; %s)",
+		version.Get(), bound, map[bool]string{false: "full", true: "quick"}[*quick], mode)
 
 	httpServer := &http.Server{
 		Handler:           s.Handler(),
@@ -136,4 +170,37 @@ func run() error {
 		}
 		return shutdownErr
 	}
+}
+
+// runWorker is -coordinator mode: a lease/execute/post loop against a
+// remote coordinator, until SIGINT/SIGTERM. A signal mid-shard abandons
+// the shard (the coordinator re-leases it after -lease-ttl) — the
+// worker-death path the federation is tested against.
+func runWorker(cfg server.WorkerConfig, logger *log.Logger) error {
+	w, err := server.NewWorker(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Printf("worker %s: received %v; stopping", w.Name(), sig)
+		cancel()
+	}()
+	logger.Printf("%s worker %s leasing from %s", version.Get(), w.Name(), cfg.Coordinator)
+	w.Run(ctx)
+	logger.Printf("worker %s: done (%d shards completed)", w.Name(), w.ShardsDone())
+	return nil
+}
+
+// workerLog keeps per-shard worker chatter behind -quiet while leaving
+// lifecycle messages on the main logger.
+func workerLog(logger *log.Logger, quiet bool) *log.Logger {
+	if quiet {
+		return nil
+	}
+	return logger
 }

@@ -132,12 +132,7 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
-	for i := range results {
-		if results[i].Err != "" {
-			return results, fmt.Errorf("campaign: job %d (%s): %s", i, results[i].JobID, results[i].Err)
-		}
-	}
-	return results, nil
+	return results, FirstError(results)
 }
 
 // execute runs one job with panic recovery.

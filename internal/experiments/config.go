@@ -8,10 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"paco/internal/campaign"
 	"paco/internal/cpu"
 )
 
@@ -51,6 +53,16 @@ type Config struct {
 	// fixed configuration, results are identical regardless of worker
 	// count.
 	Workers int
+
+	// Execute, when non-nil, replaces the in-process campaign pool as
+	// the executor every experiment submits its measurement jobs to —
+	// the injection point the distributed-determinism harness
+	// (internal/server/servertest) uses to run whole experiments through
+	// a multi-worker federation and assert the report bytes never
+	// change. Implementations must preserve the campaign contract:
+	// one Result per job, in job order. Never part of a cache key
+	// (execution strategy cannot perturb deterministic results).
+	Execute func(ctx context.Context, workers int, jobs []campaign.Job) ([]campaign.Result, error) `json:"-"`
 }
 
 // Default returns the full-scale configuration.

@@ -30,15 +30,16 @@ type job struct {
 	// (simulated), "hit" (served from the content-addressed cache).
 	fromCache string
 
-	mu       sync.Mutex
-	state    string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	runner   *campaign.Runner // non-nil while running
-	results  []campaign.Result
-	summary  *campaign.Summary
-	errMsg   string
+	mu        sync.Mutex
+	state     string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	runner    *campaign.Runner // non-nil while running locally
+	cellsDone int              // settled cells of a federated job (runner == nil)
+	results   []campaign.Result
+	summary   *campaign.Summary
+	errMsg    string
 
 	subs   map[chan sseEvent]struct{}
 	doneCh chan struct{} // closed when the job reaches a terminal state
@@ -118,6 +119,11 @@ func (j *job) status(withResults bool) JobStatus {
 		st.Cells.Queued = snap.Queued
 		st.Cells.Running = snap.Running
 		st.Cells.Done = snap.Done
+	case j.state == stateRunning:
+		// Federated job: cells settle shard by shard; unfinished shards
+		// count as queued (the coordinator cannot see inside a worker).
+		st.Cells.Done = j.cellsDone
+		st.Cells.Queued = j.cells - j.cellsDone
 	default:
 		st.Cells.Done = j.cells
 	}
@@ -135,7 +141,8 @@ func (j *job) terminal() bool {
 }
 
 // start transitions queued -> running and installs the campaign runner
-// whose Snapshot backs live cell counts.
+// whose Snapshot backs live cell counts; a nil runner marks a federated
+// job, whose cell counts advance via shardProgress instead.
 func (j *job) start(r *campaign.Runner) {
 	j.mu.Lock()
 	j.state = stateRunning
@@ -143,6 +150,31 @@ func (j *job) start(r *campaign.Runner) {
 	j.runner = r
 	j.mu.Unlock()
 	j.publish("running", j.status(false))
+}
+
+// shardProgress relays one completed federation shard to status polls
+// and SSE subscribers.
+func (j *job) shardProgress(cellsDone int, shardID string) {
+	j.mu.Lock()
+	j.cellsDone = cellsDone
+	total := j.cells
+	j.mu.Unlock()
+	ev := struct {
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+		Shard string `json:"shard"`
+	}{Done: cellsDone, Total: total, Shard: shardID}
+	j.publish("progress", ev)
+}
+
+// resultsIfDone returns the job's result slice once it completed.
+func (j *job) resultsIfDone() ([]campaign.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != stateDone {
+		return nil, false
+	}
+	return j.results, true
 }
 
 // progress relays one campaign progress callback to SSE subscribers.

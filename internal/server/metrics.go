@@ -16,11 +16,15 @@ import (
 //   - job outcomes (done/failed) and campaigns actually simulated
 //   - content-addressed cache hits, misses, entries, bytes, budget
 //   - simulated cycles and kcycles/sec from the internal/perf sampler
+//   - federation state: pending/leased shards, retries, oldest lease
+//     age, and per-worker liveness (a worker is live while it has
+//     checked in within Config.WorkerLiveness)
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
 	info := version.Get()
 	cs := s.cache.Stats()
+	fs := s.fed.stats()
 	cycles, wall, samples := s.sampler.Totals()
 
 	type metric struct {
@@ -29,6 +33,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	g := func(name, help string, v any) metric {
 		return metric{name, help, "gauge", []string{fmt.Sprintf("%s %v", name, v)}}
+	}
+	workerLines := make([]string, 0, len(fs.Workers))
+	for _, ws := range fs.Workers {
+		workerLines = append(workerLines, fmt.Sprintf("paco_federation_worker_last_seen_seconds{worker=%q} %.3f",
+			ws.Name, ws.LastSeenAge.Seconds()))
 	}
 	c := func(name, help string, v any) metric {
 		return metric{name, help, "counter", []string{fmt.Sprintf("%s %v", name, v)}}
@@ -60,8 +69,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%.3f", s.sampler.KCyclesPerSec())),
 		g("paco_sim_kcycles_per_sec_last", "Most recent job's simulated kcycles per wall second.",
 			fmt.Sprintf("%.3f", s.sampler.LastKCyclesPerSec())),
+		g("paco_federation_shards_pending", "Shards queued for lease.", fs.ShardsPending),
+		g("paco_federation_shards_leased", "Shards currently leased to workers.", fs.ShardsLeased),
+		c("paco_federation_shards_completed_total", "Shards completed by the federation.", fs.ShardsCompleted),
+		c("paco_federation_shard_retries_total", "Shard re-leases after lease expiry or worker-reported failure.", fs.Retries),
+		g("paco_federation_lease_age_seconds_max", "Age of the oldest outstanding lease.",
+			fmt.Sprintf("%.3f", fs.OldestLeaseAge.Seconds())),
+		g("paco_federation_workers_live", "Workers that checked in within the liveness window.", fs.WorkersLive),
+		{"paco_federation_worker_last_seen_seconds",
+			"Seconds since each federation worker last checked in.", "gauge", workerLines},
 	}
 	for _, m := range metrics {
+		if len(m.lines) == 0 {
+			continue
+		}
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
 		for _, line := range m.lines {
 			fmt.Fprintln(w, line)

@@ -58,6 +58,24 @@ type Config struct {
 	CacheBytes int64
 	CacheDir   string
 
+	// Shards, when >= 1, turns the server into a federation coordinator:
+	// each submitted grid is split into up to Shards content-addressed
+	// shards (campaign.Grid.Shards) executed by remote workers leasing
+	// through /v1/shards/lease, and the merged report is byte-identical
+	// to a single-process run. Shards == 1 still federates — the whole
+	// sweep goes to one worker — so a single-worker deployment behaves
+	// as configured; 0 executes locally as before.
+	Shards int
+
+	// LeaseTTL bounds how long a worker may hold a shard before the
+	// coordinator re-leases it (default 30s). WorkerLiveness is the
+	// check-in window after which /metrics stops counting a worker as
+	// live (default 15s). ShardRetryLimit caps re-lease attempts per
+	// shard before the whole campaign fails (default 3).
+	LeaseTTL        time.Duration
+	WorkerLiveness  time.Duration
+	ShardRetryLimit int
+
 	// Experiments scales the /v1/experiments reports (nil selects
 	// experiments.Default(), the scale cmd/paco-repro runs at).
 	Experiments *experiments.Config
@@ -73,7 +91,10 @@ type Server struct {
 	cfg    Config
 	expCfg experiments.Config
 	cache  *Cache
+	fed    *federation
 	mux    *http.ServeMux
+
+	nextCampaign atomic.Uint64 // Distribute campaign IDs
 
 	queue chan *job
 
@@ -153,10 +174,15 @@ func New(cfg Config) (*Server, error) {
 		started:    time.Now(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.fed = newFederation(cfg.LeaseTTL, cfg.WorkerLiveness, cfg.ShardRetryLimit, cache, cfg.Log)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
+	mux.HandleFunc("POST /v1/shards/{id}/renew", s.handleShardRenew)
+	mux.HandleFunc("POST /v1/shards/{id}/result", s.handleShardResult)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -402,15 +428,30 @@ func (s *Server) runJob(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
-	runner := &campaign.Runner{
-		Workers:    s.cfg.SimWorkers,
-		OnProgress: func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
-	}
-	j.start(runner)
-	s.cfg.Log.Printf("job %s: running %d cells (key %s)", j.id, j.cells, j.key[:12])
-
+	var results []campaign.Result
+	var err error
 	start := time.Now()
-	results, err := runner.Run(s.ctx, j.grid.Jobs())
+	if s.cfg.Shards >= 1 {
+		// Coordinator mode: federate the grid across leased workers. The
+		// merged results are byte-identical to the local path below —
+		// the distributed determinism the servertest harness asserts.
+		j.start(nil)
+		s.cfg.Log.Printf("job %s: federating %d cells across up to %d shards (key %s)",
+			j.id, j.cells, s.cfg.Shards, j.key[:12])
+		results, err = s.fed.distribute(s.ctx, j.id, &j.grid, j.cells, s.cfg.Shards,
+			func(cellsDone int, shardID string) { j.shardProgress(cellsDone, shardID) })
+		if err == nil {
+			err = campaign.FirstError(results)
+		}
+	} else {
+		runner := &campaign.Runner{
+			Workers:    s.cfg.SimWorkers,
+			OnProgress: func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
+		}
+		j.start(runner)
+		s.cfg.Log.Printf("job %s: running %d cells (key %s)", j.id, j.cells, j.key[:12])
+		results, err = runner.Run(s.ctx, j.grid.Jobs())
+	}
 	wall := time.Since(start)
 
 	var cycles uint64
@@ -452,6 +493,105 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, j.status(true))
 }
+
+// handleJobResults is GET /v1/jobs/{id}/results: the bare result slice
+// of a finished job, rendered exactly as campaign.WriteJSON renders it —
+// byte-comparable against cmd/paco-campaign output for the same grid,
+// which is what the CI federation smoke diffs.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	results, done := j.resultsIfDone()
+	if !done {
+		errorJSON(w, http.StatusConflict, "job %s has not finished", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	campaign.WriteJSON(w, results)
+}
+
+// handleShardLease is POST /v1/shards/lease: grant the next pending
+// shard to the requesting worker, or 204 when the queue is empty.
+func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+		errorJSON(w, http.StatusBadRequest, "parsing lease request: %v", err)
+		return
+	}
+	lease, ok := s.fed.lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+// handleShardRenew is POST /v1/shards/{id}/renew: restart the lease
+// clock for a shard still executing, so only dead workers expire.
+func (s *Server) handleShardRenew(w http.ResponseWriter, r *http.Request) {
+	var ren ShardRenewal
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&ren); err != nil {
+		errorJSON(w, http.StatusBadRequest, "parsing renewal: %v", err)
+		return
+	}
+	status, msg := s.fed.renew(r.PathValue("id"), ren)
+	if status >= 400 {
+		errorJSON(w, status, "%s", msg)
+		return
+	}
+	writeJSON(w, status, map[string]string{"status": msg})
+}
+
+// handleShardResult is POST /v1/shards/{id}/result.
+func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		errorJSON(w, status, "reading shard result: %v", err)
+		return
+	}
+	var post ShardResultPost
+	if err := json.Unmarshal(body, &post); err != nil {
+		errorJSON(w, http.StatusBadRequest, "parsing shard result: %v", err)
+		return
+	}
+	status, msg := s.fed.result(r.PathValue("id"), post)
+	if status >= 400 {
+		errorJSON(w, status, "%s", msg)
+		return
+	}
+	writeJSON(w, status, map[string]string{"status": msg})
+}
+
+// Distribute federates an arbitrary campaign — `size` cells split into
+// up to `shards` leases — across this server's worker federation and
+// returns the merged, globally ordered results. grid non-nil ships
+// self-contained grid shards (content-addressed, cache-backed); grid nil
+// distributes an opaque job slice that workers resolve via their
+// JobSource under the returned campaign's generated ID, campaignID. The
+// servertest cluster routes experiments through this entry point.
+func (s *Server) Distribute(ctx context.Context, campaignID string, grid *campaign.Grid, size, shards int) ([]campaign.Result, error) {
+	return s.fed.distribute(ctx, campaignID, grid, size, shards, nil)
+}
+
+// NextCampaignID issues a fresh coordinator-unique campaign ID for
+// Distribute callers that federate opaque job slices.
+func (s *Server) NextCampaignID() string {
+	return fmt.Sprintf("c-%06d", s.nextCampaign.Add(1))
+}
+
+// FederationStats snapshots the coordinator: pending/leased shards,
+// retries, and per-worker liveness.
+func (s *Server) FederationStats() FederationStats { return s.fed.stats() }
 
 // handleExperiment is GET /v1/experiments/{name}: the named paper
 // experiment rendered exactly as the CLI renders it (the same

@@ -1,0 +1,318 @@
+package servertest_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paco/internal/campaign"
+	"paco/internal/experiments"
+	"paco/internal/server"
+	"paco/internal/server/servertest"
+)
+
+// gridSpec is the sweep the topology tests distribute: 2 benchmarks x 2
+// widths = 4 cells, small enough to run many topologies.
+const gridSpec = `{"benchmarks":["gzip","twolf"],"instructions":12000,"warmup":4000,"widths":[2,4]}`
+
+// localResultsJSON runs the spec's grid in-process — the single-process
+// golden every distributed run must reproduce byte for byte.
+func localResultsJSON(t *testing.T, spec string, workers int) []byte {
+	t.Helper()
+	var grid campaign.Grid
+	if err := json.Unmarshal([]byte(spec), &grid); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := grid.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := campaign.Run(context.Background(), workers, norm.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := campaign.WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFederatedGridByteIdenticalAnyTopology is the tentpole assertion:
+// the same grid submitted through the full production path (POST
+// /v1/jobs -> shard -> lease over HTTP -> merge) produces byte-identical
+// results at every worker count and shard plan, including plans with
+// more shards than workers and more workers than shards.
+func TestFederatedGridByteIdenticalAnyTopology(t *testing.T) {
+	want := localResultsJSON(t, gridSpec, 2)
+	for _, tc := range []struct{ workers, shards int }{
+		{1, 1},
+		{1, 3},
+		{2, 2},
+		{3, 4},
+		{4, 2},
+		{3, 99}, // trimmed to one shard per cell
+	} {
+		t.Run(fmt.Sprintf("w%d-s%d", tc.workers, tc.shards), func(t *testing.T) {
+			c := servertest.New(t, servertest.Config{Workers: tc.workers, Shards: tc.shards})
+			st, err := c.RunGrid(gridSpec, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Cache != "miss" {
+				t.Fatalf("first submission: cache = %q, want miss", st.Cache)
+			}
+			got, err := c.ResultsJSON(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("federated results differ from the single-process run:\n got: %.200s\nwant: %.200s", got, want)
+			}
+			// The distributed result lands in the same content-addressed
+			// cache the local path uses: an identical re-submission is a
+			// pure hit, no leases granted.
+			leased := c.Server.FederationStats().ShardsCompleted
+			again, err := c.RunGrid(gridSpec, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Cache != "hit" {
+				t.Fatalf("re-submission: cache = %q, want hit", again.Cache)
+			}
+			if done := c.Server.FederationStats().ShardsCompleted; done != leased {
+				t.Fatalf("re-submission leased new shards: %d -> %d", leased, done)
+			}
+		})
+	}
+}
+
+// TestShardCacheCompletesWithoutLease: shards are individually
+// content-addressed, so a campaign whose shards already ran — here via a
+// direct Distribute that bypasses the whole-job cache — completes from
+// the shard cache without granting a single new lease.
+func TestShardCacheCompletesWithoutLease(t *testing.T) {
+	c := servertest.New(t, servertest.Config{Workers: 2, Shards: 2})
+	var grid campaign.Grid
+	if err := json.Unmarshal([]byte(gridSpec), &grid); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := grid.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Server.Distribute(context.Background(), "dist-a", &norm, norm.Size(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := c.Server.FederationStats().ShardsCompleted
+	if completed == 0 {
+		t.Fatal("first Distribute granted no leases")
+	}
+	second, err := c.Server.Distribute(context.Background(), "dist-b", &norm, norm.Size(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Server.FederationStats().ShardsCompleted; got != completed {
+		t.Fatalf("second Distribute re-leased cached shards: %d -> %d", completed, got)
+	}
+	var a, b bytes.Buffer
+	campaign.WriteJSON(&a, first)
+	campaign.WriteJSON(&b, second)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("cached shard results differ from the executed run")
+	}
+}
+
+// TestFederatedExperimentsByteIdentical is the determinism golden test:
+// whole paper experiments — fig2 and the robustness study, every
+// campaign they submit — run through a 3-worker federation and must
+// render reports byte-identical to plain experiments.Run. Runs under
+// -race in CI like everything else.
+func TestFederatedExperimentsByteIdentical(t *testing.T) {
+	for _, name := range []string{"fig2", "robustness"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := experiments.Quick()
+			cfg.Workers = 2
+			var local bytes.Buffer
+			if err := experiments.Run(name, cfg, &local); err != nil {
+				t.Fatalf("local %s: %v", name, err)
+			}
+
+			c := servertest.New(t, servertest.Config{Workers: 3, SimWorkers: 1})
+			fcfg := cfg
+			fcfg.Execute = c.Execute
+			var federated bytes.Buffer
+			if err := experiments.Run(name, fcfg, &federated); err != nil {
+				t.Fatalf("federated %s: %v", name, err)
+			}
+			if !bytes.Equal(local.Bytes(), federated.Bytes()) {
+				t.Fatalf("%s report differs between local and federated execution\nlocal:\n%s\nfederated:\n%s",
+					name, local.String(), federated.String())
+			}
+		})
+	}
+}
+
+// chaosJobs builds a campaign of pure, idempotent Exec cells that block
+// until release closes (or their context dies) and then return a
+// deterministic result — the scaffolding that lets the chaos test hold
+// workers provably mid-shard.
+func chaosJobs(n int, release <-chan struct{}) []campaign.Job {
+	jobs := make([]campaign.Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = campaign.Job{
+			ID:        fmt.Sprintf("chaos-%02d", i),
+			Benchmark: "chaos",
+			Exec: func(ctx context.Context) (*campaign.Result, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				r := &campaign.Result{
+					Benchmark: "chaos",
+					Cycles:    uint64(1000 + i),
+					IPC:       0.5 * float64(i+1),
+				}
+				r.SetExtra("cell", float64(i))
+				return r, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestChaosWorkerDeathAndDroppedPost kills a worker mid-shard AND drops
+// a result POST on the wire, then asserts the coordinator re-leases the
+// lost shards, the merged report is byte-identical to an undisturbed
+// local run, the retries are visible in the federation counters, and —
+// reusing the drain_test discipline — no goroutines leak.
+func TestChaosWorkerDeathAndDroppedPost(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	jobs := chaosJobs(12, release)
+
+	var mu sync.Mutex
+	leased := make(map[string]int) // worker -> leases granted
+	firstLease := make(chan string, 1)
+	c := servertest.New(t, servertest.Config{
+		Workers:         3,
+		SimWorkers:      1,
+		Shards:          6,
+		LeaseTTL:        100 * time.Millisecond,
+		DropResultPosts: 1,
+		OnLease: func(worker string, _ server.ShardLease) {
+			mu.Lock()
+			leased[worker]++
+			mu.Unlock()
+			select {
+			case firstLease <- worker:
+			default:
+			}
+		},
+	})
+
+	type outcome struct {
+		results []campaign.Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, err := c.Execute(context.Background(), 1, jobs)
+		done <- outcome{results, err}
+	}()
+
+	// Kill the first worker to lease a shard while it is provably inside
+	// that shard (every cell blocks on release, so the worker cannot
+	// have finished).
+	var victim string
+	select {
+	case victim = <-firstLease:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no lease was granted within 10s")
+	}
+	c.KillWorker(victim)
+	close(release)
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("federated campaign did not finish after the chaos")
+	}
+	if out.err != nil {
+		t.Fatalf("federated campaign failed: %v", out.err)
+	}
+
+	// The report must be exactly what an undisturbed single-process run
+	// produces.
+	want, err := campaign.Run(context.Background(), 1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJSON, wantJSON bytes.Buffer
+	campaign.WriteJSON(&gotJSON, out.results)
+	campaign.WriteJSON(&wantJSON, want)
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON.Bytes()) {
+		t.Fatalf("chaos changed the report:\n got: %s\nwant: %s", gotJSON.String(), wantJSON.String())
+	}
+
+	// Both failure injections must actually have bitten: the killed
+	// worker's lease and the dropped POST each force a re-lease.
+	if stats := c.Server.FederationStats(); stats.Retries < 2 {
+		t.Fatalf("federation retries = %d, want >= 2 (worker death + dropped POST)", stats.Retries)
+	}
+	mu.Lock()
+	victimLeases := leased[victim]
+	mu.Unlock()
+	if victimLeases == 0 {
+		t.Fatal("victim worker recorded no leases")
+	}
+
+	// Everything must drain: workers, coordinator pool, HTTP server.
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: before=%d now=%d", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFederationMetrics: after a distributed run the coordinator's
+// /metrics expose live workers, completed shards, and retry counters —
+// the lines the CI federation smoke greps.
+func TestFederationMetrics(t *testing.T) {
+	c := servertest.New(t, servertest.Config{Workers: 2, Shards: 2})
+	if _, err := c.RunGrid(gridSpec, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"paco_federation_workers_live 2",
+		"paco_federation_shards_completed_total 2",
+		"paco_federation_shard_retries_total 0",
+		`paco_federation_worker_last_seen_seconds{worker="w1"}`,
+		`paco_federation_worker_last_seen_seconds{worker="w2"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

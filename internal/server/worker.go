@@ -1,0 +1,302 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"paco/internal/campaign"
+)
+
+// Worker is the client side of the shard federation: a loop that leases
+// shards from a coordinator, executes them on a local campaign pool, and
+// posts globally indexed results back. cmd/paco-serve runs one per
+// process in -coordinator mode; servertest runs several in-process to
+// prove distributed determinism.
+type Worker struct {
+	cfg        WorkerConfig
+	client     *http.Client
+	shardsDone atomic.Uint64
+	cellsDone  atomic.Uint64
+}
+
+// WorkerConfig configures a federation worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:8344").
+	Coordinator string
+
+	// Name identifies the worker to the coordinator (liveness and
+	// attribution). Empty selects "hostname-pid".
+	Name string
+
+	// SimWorkers is the local campaign pool each shard runs on (<= 0
+	// selects runtime.GOMAXPROCS(0)). Worker count never changes result
+	// bytes — the campaign engine's core guarantee.
+	SimWorkers int
+
+	// Poll is how long to sleep when the coordinator has no work
+	// (default 500ms).
+	Poll time.Duration
+
+	// HTTPClient overrides the transport (tests inject chaos here).
+	HTTPClient *http.Client
+
+	// JobSource, when non-nil, resolves the job slice of in-process
+	// campaigns (leases without a grid): servertest federations register
+	// experiment job slices here. Shards of unknown campaigns are
+	// reported back as infrastructure failures. Grid leases never
+	// consult it.
+	JobSource func(campaignID string) []campaign.Job
+
+	// OnLease, when non-nil, observes every granted lease before
+	// execution starts — the hook chaos tests use to kill a worker
+	// provably mid-shard.
+	OnLease func(ShardLease)
+
+	// Log receives operational messages (nil discards them).
+	Log *log.Logger
+}
+
+// NewWorker validates the configuration and builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("server: worker needs a coordinator URL")
+	}
+	cfg.Coordinator = strings.TrimRight(cfg.Coordinator, "/")
+	if cfg.Name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Worker{cfg: cfg, client: client}, nil
+}
+
+// Name reports the identity the worker leases under.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// ShardsDone reports how many shards this worker completed and posted.
+func (w *Worker) ShardsDone() uint64 { return w.shardsDone.Load() }
+
+// Run leases and executes shards until ctx is cancelled; it returns
+// ctx.Err(). A shard in flight when ctx falls is abandoned unposted —
+// in-flight cells observe the cancellation, and the coordinator's lease
+// expiry re-queues the shard — which is exactly the worker-death path
+// the chaos tests exercise.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, ok, err := w.lease(ctx)
+		if err != nil {
+			w.cfg.Log.Printf("worker %s: lease: %v", w.cfg.Name, err)
+			if !w.sleep(ctx) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if !ok {
+			if !w.sleep(ctx) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if w.cfg.OnLease != nil {
+			w.cfg.OnLease(lease)
+		}
+		w.runLease(ctx, lease)
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context) bool {
+	select {
+	case <-time.After(w.cfg.Poll):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runLease executes one leased shard and posts its outcome. Execution
+// errors inside cells travel in the results (determinism: the same cell
+// fails identically anywhere); only infrastructure problems — unknown
+// campaign, range outside the job slice — are posted as shard errors so
+// the coordinator re-queues.
+func (w *Worker) runLease(ctx context.Context, lease ShardLease) {
+	// Renew the lease at TTL/3 while executing, so the coordinator can
+	// tell a slow shard from a dead worker: a shard may legitimately
+	// simulate for many multiples of the TTL. A killed worker's renewal
+	// loop dies with ctx, which is exactly what lets expiry re-queue its
+	// shard.
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	defer stopRenew()
+	if ttl := time.Duration(lease.TTLMS) * time.Millisecond; ttl > 0 {
+		go w.renewLoop(renewCtx, lease, ttl/3)
+	}
+	results, infraErr := w.execute(ctx, lease)
+	if ctx.Err() != nil {
+		// Killed mid-shard: abandon silently; the lease will expire.
+		return
+	}
+	post := ShardResultPost{LeaseID: lease.LeaseID, Worker: w.cfg.Name, Results: results}
+	if infraErr != nil {
+		post = ShardResultPost{LeaseID: lease.LeaseID, Worker: w.cfg.Name, Error: infraErr.Error()}
+		w.cfg.Log.Printf("worker %s: shard %s: %v", w.cfg.Name, short(lease.ShardID), infraErr)
+	}
+	if err := w.postResult(ctx, lease.ShardID, post); err != nil {
+		// Dropped POST: the coordinator's lease expiry re-runs the shard;
+		// re-running is free of harm by determinism.
+		w.cfg.Log.Printf("worker %s: posting shard %s: %v", w.cfg.Name, short(lease.ShardID), err)
+		return
+	}
+	if infraErr == nil {
+		w.shardsDone.Add(1)
+		w.cellsDone.Add(uint64(len(results)))
+		w.cfg.Log.Printf("worker %s: shard %s done (%d cells)", w.cfg.Name, short(lease.ShardID), len(results))
+	}
+}
+
+// execute materializes the lease's job slice and runs it, re-indexing
+// results into the campaign's global cell space.
+func (w *Worker) execute(ctx context.Context, lease ShardLease) ([]campaign.Result, error) {
+	var jobs []campaign.Job
+	switch {
+	case lease.Grid != nil:
+		jobs = lease.Grid.Jobs()
+	case w.cfg.JobSource != nil:
+		jobs = w.cfg.JobSource(lease.Campaign)
+		if jobs == nil {
+			return nil, fmt.Errorf("unknown campaign %q", lease.Campaign)
+		}
+	default:
+		return nil, errors.New("lease carries no grid and worker has no job source")
+	}
+	if lease.Lo < 0 || lease.Hi > len(jobs) || lease.Lo >= lease.Hi {
+		return nil, fmt.Errorf("lease range [%d,%d) outside campaign's %d cells", lease.Lo, lease.Hi, len(jobs))
+	}
+	// Cell failures ride in the results; the campaign-level first-failure
+	// error is recomputed by the coordinator after the merge.
+	results, _ := campaign.Run(ctx, w.cfg.SimWorkers, jobs[lease.Lo:lease.Hi])
+	for i := range results {
+		results[i].Index = lease.Lo + i
+	}
+	return results, nil
+}
+
+// renewLoop posts lease renewals until ctx falls. A failed or rejected
+// renewal is only logged: if the lease really was lost, the shard's
+// result post resolves it (first complete result wins).
+func (w *Worker) renewLoop(ctx context.Context, lease ShardLease, every time.Duration) {
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		body, _ := json.Marshal(ShardRenewal{LeaseID: lease.LeaseID, Worker: w.cfg.Name})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			fmt.Sprintf("%s/v1/shards/%s/renew", w.cfg.Coordinator, url.PathEscape(lease.ShardID)),
+			bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.cfg.Log.Printf("worker %s: renewing shard %s: %v", w.cfg.Name, short(lease.ShardID), err)
+			}
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func (w *Worker) lease(ctx context.Context) (ShardLease, bool, error) {
+	body, _ := json.Marshal(LeaseRequest{Worker: w.cfg.Name})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+"/v1/shards/lease", bytes.NewReader(body))
+	if err != nil {
+		return ShardLease{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return ShardLease{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return ShardLease{}, false, nil
+	case http.StatusOK:
+		var lease ShardLease
+		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+			return ShardLease{}, false, fmt.Errorf("decoding lease: %w", err)
+		}
+		return lease, true, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return ShardLease{}, false, fmt.Errorf("lease request: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+func (w *Worker) postResult(ctx context.Context, shardID string, post ShardResultPost) error {
+	body, err := json.Marshal(post)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/shards/%s/result", w.cfg.Coordinator, url.PathEscape(shardID)), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusGone {
+		// Someone else completed the shard first; that is success. (A
+		// plain 404 would mean a broken URL and is treated as an error.)
+		return nil
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("result post: %s", resp.Status)
+	}
+	return nil
+}

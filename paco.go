@@ -254,6 +254,13 @@ type CampaignGrid = campaign.Grid
 // queued/running/done job counts (see (*CampaignRunner).Snapshot).
 type CampaignSnapshot = campaign.Snapshot
 
+// CampaignShard is one contiguous slice of a grid's cell space — the
+// self-contained, content-addressed unit of work the distributed
+// federation leases to workers (see CampaignGrid.Shards and DESIGN.md
+// §7). Running every shard of a plan and merging reproduces the unsplit
+// campaign byte for byte.
+type CampaignShard = campaign.Shard
+
 // Declarative workload scenarios (see internal/scenario): a versioned
 // JSON document — a named workload family with parameters, or a bundled
 // benchmark, reshaped by composition operators — that compiles to a
@@ -313,6 +320,30 @@ func NewSimServer(cfg SimServerConfig) (*SimServer, error) { return server.New(c
 // persistence directory.
 func NewResultCache(budget int64, dir string) (*ResultCache, error) {
 	return server.NewCache(budget, dir)
+}
+
+// Distributed federation (see DESIGN.md §7): a SimServer configured with
+// Shards > 1 coordinates sweeps across remote workers over a lease
+// protocol; FederationWorker is the worker loop cmd/paco-serve runs in
+// -coordinator mode. Determinism makes the distribution provable: the
+// merged report is asserted byte-identical to a single-process run at
+// any worker count, interleaving, or failure pattern
+// (internal/server/servertest).
+type (
+	// FederationWorker leases shards from a coordinator, executes them
+	// locally, and posts globally indexed results back.
+	FederationWorker = server.Worker
+	// FederationWorkerConfig configures a FederationWorker.
+	FederationWorkerConfig = server.WorkerConfig
+	// FederationStats snapshots a coordinator: pending/leased shards,
+	// retries, and per-worker liveness.
+	FederationStats = server.FederationStats
+)
+
+// NewFederationWorker builds a worker for the given coordinator; call
+// Run to start leasing.
+func NewFederationWorker(cfg FederationWorkerConfig) (*FederationWorker, error) {
+	return server.NewWorker(cfg)
 }
 
 // CanonicalJSON rewrites a JSON document into the canonical form the
