@@ -1,0 +1,155 @@
+// Command paco-obs checks a running paco-serve's observability surfaces
+// — the scriptable side of the obs layer, built for CI smoke steps and
+// quick operator sanity checks.
+//
+// Usage:
+//
+//	paco-obs lint <base-url>
+//	paco-obs flight <base-url> [-kind k] [-trace t] [-min n]
+//
+// lint fetches GET /metrics and runs the strict Prometheus exposition
+// linter over it (internal/obs.LintExposition): metric and label name
+// syntax, HELP/TYPE placement, family contiguity, duplicate series,
+// histogram shape. Any finding is printed and exits 1 — the CI guard
+// that /metrics never drifts out of scrapeable shape.
+//
+// flight fetches GET /debug/flight (with the given filters) and prints
+// a per-kind span census. With -min it exits 1 unless at least n spans
+// match — how the federation smoke asserts that a distributed sweep
+// actually left a reconstructable lease → execute → cell trail.
+//
+// Examples:
+//
+//	paco-obs lint "http://$ADDR"
+//	paco-obs flight "http://$ADDR" -kind shard.lease -min 2
+//	paco-obs flight "http://$ADDR" -trace "$TRACE_ID"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"paco/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paco-obs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: paco-obs lint|flight <base-url> [flags]")
+	}
+	cmd, base, rest := args[0], args[1], args[2:]
+	switch cmd {
+	case "lint":
+		return lint(base)
+	case "flight":
+		return flight(base, rest)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want lint or flight)", cmd)
+	}
+}
+
+func get(rawURL string) (*http.Response, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", rawURL, resp.Status)
+	}
+	return resp, nil
+}
+
+// lint scrapes /metrics and runs the exposition linter over the body.
+func lint(base string) error {
+	resp, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if errs := obs.LintExposition(resp.Body); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "lint:", e)
+		}
+		return fmt.Errorf("%d exposition problem(s)", len(errs))
+	}
+	fmt.Println("metrics exposition: clean")
+	return nil
+}
+
+// flightReport mirrors server.FlightReport without importing the
+// server package into this small binary.
+type flightReport struct {
+	Capacity int              `json:"capacity"`
+	Recorded uint64           `json:"recorded"`
+	Active   int64            `json:"active"`
+	Spans    []obs.SpanRecord `json:"spans"`
+}
+
+// flight fetches /debug/flight with the given filters and prints a
+// per-kind census; -min turns it into an assertion.
+func flight(base string, args []string) error {
+	fs := flag.NewFlagSet("flight", flag.ContinueOnError)
+	kind := fs.String("kind", "", "only spans of this kind (job, shard.lease, shard.execute, cell, ...)")
+	trace := fs.String("trace", "", "only spans carrying this trace ID")
+	min := fs.Int("min", 0, "exit nonzero unless at least this many spans match")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := url.Values{}
+	if *kind != "" {
+		q.Set("kind", *kind)
+	}
+	if *trace != "" {
+		q.Set("trace", *trace)
+	}
+	u := base + "/debug/flight"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var report flightReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		return fmt.Errorf("decoding flight report: %w", err)
+	}
+
+	byKind := map[string]int{}
+	failed := 0
+	for _, sp := range report.Spans {
+		byKind[sp.Kind]++
+		if sp.Err != "" {
+			failed++
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("flight: %d span(s) (%d with errors), %d recorded total, %d active, capacity %d\n",
+		len(report.Spans), failed, report.Recorded, report.Active, report.Capacity)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, byKind[k])
+	}
+	if len(report.Spans) < *min {
+		return fmt.Errorf("%d span(s) match, want >= %d", len(report.Spans), *min)
+	}
+	return nil
+}

@@ -21,6 +21,12 @@
 //	GET  /v1/experiments/{name}   paper figure/table, byte-identical to the CLI
 //	GET  /metrics                 Prometheus text metrics (incl. federation)
 //	GET  /healthz                 liveness + build stamp
+//	GET  /debug/flight            span flight recorder (?kind=&trace=&limit=)
+//	GET  /debug/pprof/            Go profiles (only with -pprof)
+//
+// Logs are structured (log/slog): text by default, JSON with -log-json,
+// filtered by -log-level; every job-lifecycle record carries the job's
+// trace ID (X-Paco-Trace).
 //
 // Examples:
 //
@@ -44,11 +50,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +81,9 @@ func run() error {
 	quick := flag.Bool("quick", false, "serve /v1/experiments at the small test-scale configuration")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON objects instead of text")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints at /debug/pprof/")
 	shards := flag.Int("shards", 0, "coordinator mode: split each sweep into up to N shards for federation workers (0 = execute locally)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: re-lease a shard this long after its worker goes silent")
 	coordinator := flag.String("coordinator", "", "worker mode: lease shards from this coordinator URL instead of serving")
@@ -87,7 +97,10 @@ func run() error {
 		return nil
 	}
 
-	logger := log.New(os.Stderr, "paco-serve: ", log.LstdFlags)
+	logger, err := buildLogger(*logLevel, *logJSON)
+	if err != nil {
+		return err
+	}
 	if *coordinator != "" {
 		return runWorker(server.WorkerConfig{
 			Coordinator: *coordinator,
@@ -99,13 +112,14 @@ func run() error {
 	}
 
 	cfg := server.Config{
-		JobWorkers: *jobWorkers,
-		SimWorkers: *simWorkers,
-		QueueSize:  *queueSize,
-		CacheBytes: *cacheMB << 20,
-		CacheDir:   *cacheDir,
-		Shards:     *shards,
-		LeaseTTL:   *leaseTTL,
+		JobWorkers:  *jobWorkers,
+		SimWorkers:  *simWorkers,
+		QueueSize:   *queueSize,
+		CacheBytes:  *cacheMB << 20,
+		CacheDir:    *cacheDir,
+		Shards:      *shards,
+		LeaseTTL:    *leaseTTL,
+		EnablePprof: *pprofOn,
 	}
 	if *quick {
 		q := experiments.Quick()
@@ -132,12 +146,12 @@ func run() error {
 			return err
 		}
 	}
-	mode := "local execution"
+	mode := "local"
 	if *shards >= 1 {
-		mode = fmt.Sprintf("coordinator, up to %d shards per sweep", *shards)
+		mode = fmt.Sprintf("coordinator (up to %d shards per sweep)", *shards)
 	}
-	logger.Printf("%s listening on %s (experiments: %s scale; %s)",
-		version.Get(), bound, map[bool]string{false: "full", true: "quick"}[*quick], mode)
+	logger.Info("listening", "addr", bound, "version", version.Get().String(),
+		"experiments", map[bool]string{false: "full", true: "quick"}[*quick], "mode", mode)
 
 	httpServer := &http.Server{
 		Handler:           s.Handler(),
@@ -155,7 +169,7 @@ func run() error {
 		s.Close()
 		return err
 	case sig := <-sigCh:
-		logger.Printf("received %v; draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		s.Close()
 		// Shutdown (not Close) lets in-flight responses — including SSE
 		// streams, which terminate once s.Close settles their jobs —
@@ -176,7 +190,7 @@ func run() error {
 // remote coordinator, until SIGINT/SIGTERM. A signal mid-shard abandons
 // the shard (the coordinator re-leases it after -lease-ttl) — the
 // worker-death path the federation is tested against.
-func runWorker(cfg server.WorkerConfig, logger *log.Logger) error {
+func runWorker(cfg server.WorkerConfig, logger *slog.Logger) error {
 	w, err := server.NewWorker(cfg)
 	if err != nil {
 		return err
@@ -187,20 +201,44 @@ func runWorker(cfg server.WorkerConfig, logger *log.Logger) error {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
-		logger.Printf("worker %s: received %v; stopping", w.Name(), sig)
+		logger.Info("stopping", "worker", w.Name(), "signal", sig.String())
 		cancel()
 	}()
-	logger.Printf("%s worker %s leasing from %s", version.Get(), w.Name(), cfg.Coordinator)
+	logger.Info("worker leasing", "worker", w.Name(),
+		"coordinator", cfg.Coordinator, "version", version.Get().String())
 	w.Run(ctx)
-	logger.Printf("worker %s: done (%d shards completed)", w.Name(), w.ShardsDone())
+	logger.Info("worker done", "worker", w.Name(), "shards", w.ShardsDone())
 	return nil
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-json flags: structured text or JSON on stderr.
+func buildLogger(level string, jsonOut bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
 }
 
 // workerLog keeps per-shard worker chatter behind -quiet while leaving
 // lifecycle messages on the main logger.
-func workerLog(logger *log.Logger, quiet bool) *log.Logger {
+func workerLog(logger *slog.Logger, quiet bool) *slog.Logger {
 	if quiet {
-		return nil
+		return slog.New(slog.DiscardHandler)
 	}
 	return logger
 }

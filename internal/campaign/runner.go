@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"paco/internal/obs"
 )
 
 // Runner executes campaigns across a bounded worker pool. A Runner
@@ -20,6 +23,19 @@ type Runner struct {
 	// campaign size, and the job's result. Calls are serialized; the
 	// callback needs no locking of its own.
 	OnProgress func(done, total int, r *Result)
+
+	// Optional observability hooks, all nil-safe and allocation-free on
+	// the per-cell path (obs instruments no-op when nil, so the default
+	// CLI configuration pays nothing). SimDuration observes each cell's
+	// simulate wall seconds; QueueWait observes how long the cell sat
+	// between Run starting and a worker picking it up. Recorder, when
+	// non-nil, records one "cell" span per executed job under Trace,
+	// parented to Parent (a job- or shard-level span).
+	SimDuration *obs.Histogram
+	QueueWait   *obs.Histogram
+	Recorder    *obs.Recorder
+	Trace       string
+	Parent      uint64
 
 	// Live counters behind Snapshot. queued is jobs not yet picked up,
 	// running is jobs currently executing, done is settled jobs
@@ -86,6 +102,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		mu.Unlock()
 	}
 
+	runStart := time.Now()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -93,11 +110,16 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			for i := range idxCh {
 				r.queued.Add(-1)
 				r.running.Add(1)
+				r.QueueWait.Observe(time.Since(runStart).Seconds())
+				sp := r.Recorder.Start(r.Trace, "cell", jobs[i].ID, r.Parent)
+				cellStart := time.Now()
 				if ctx.Err() != nil {
 					results[i] = skipped(&jobs[i], i, ctx)
 				} else {
 					results[i] = execute(ctx, &jobs[i], i)
 				}
+				r.SimDuration.Observe(time.Since(cellStart).Seconds())
+				sp.End(results[i].Err)
 				r.running.Add(-1)
 				r.done.Add(1)
 				progress(&results[i])

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The per-cell simulation path carries a span and two histogram
+// observations. PR 2 pinned the kernel at zero steady-state allocations;
+// these guards pin the instrumentation at the same bar so observability
+// cannot silently reintroduce per-cell garbage:
+//
+//   - a disabled span (nil Recorder) must cost nothing, because the
+//     default paco/paco-campaign CLI path runs with no recorder;
+//   - histogram Observe must be allocation-free even when enabled,
+//     because paco-serve observes every cell;
+//   - an ENABLED span must also record allocation-free: Start/Set/End
+//     only copy value types into a pre-sized ring slot.
+
+func TestDisabledSpanZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	if avg := testing.AllocsPerRun(1000, func() {
+		sp := rec.Start("trace", "cell", "bench", 0)
+		sp.Set("k", "v")
+		sp.End("")
+	}); avg != 0 {
+		t.Fatalf("disabled span allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestEnabledSpanZeroAllocs(t *testing.T) {
+	rec := NewRecorder(128)
+	if avg := testing.AllocsPerRun(1000, func() {
+		sp := rec.Start("trace", "cell", "bench", 7)
+		sp.Set("k", "v")
+		sp.End("")
+	}); avg != 0 {
+		t.Fatalf("enabled span allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := newHistogram("h_seconds", "h.", DurationBuckets())
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0042)
+	}); avg != 0 {
+		t.Fatalf("histogram Observe allocates %.1f per op, want 0", avg)
+	}
+	var disabled *Histogram
+	if avg := testing.AllocsPerRun(1000, func() {
+		disabled.Observe(0.0042)
+	}); avg != 0 {
+		t.Fatalf("nil histogram Observe allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestQuiescentCellPathZeroAllocs is the composed guard: the exact
+// sequence the campaign runner performs per cell when paco-serve
+// instrumentation is attached — queue-wait observe, span open, simulate
+// (stubbed), duration observe, span close — allocates nothing.
+func TestQuiescentCellPathZeroAllocs(t *testing.T) {
+	rec := NewRecorder(128)
+	wait := newHistogram("w_seconds", "w.", nil)
+	dur := newHistogram("d_seconds", "d.", nil)
+	runStart := time.Now()
+	if avg := testing.AllocsPerRun(1000, func() {
+		wait.Observe(time.Since(runStart).Seconds())
+		sp := rec.Start("trace", "cell", "bench", 3)
+		start := time.Now()
+		dur.Observe(time.Since(start).Seconds())
+		sp.End("")
+	}); avg != 0 {
+		t.Fatalf("instrumented cell path allocates %.1f per op, want 0", avg)
+	}
+}

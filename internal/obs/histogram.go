@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 behind an atomic CAS loop, so Histogram sums
+// accumulate without a lock or an allocation.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: cumulative _bucket series per
+// upper bound (plus +Inf), _sum, and _count, in Prometheus histogram
+// convention. Observe is lock-free and allocation-free — safe on the
+// per-cell simulation path — and nil-safe, so disabled instrumentation
+// costs a nil check.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // sorted upper bounds, +Inf implicit
+	counts     []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomicFloat
+}
+
+// DurationBuckets is the default bucket layout for wall-time
+// observations, spanning 100µs to 30s — wide enough for a microsecond
+// HTTP route and a multi-second simulation shard in one family.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// ExpBuckets returns n buckets starting at start, each factor times the
+// previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+func newHistogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets()
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s has duplicate bucket bound %v", name, bounds[i]))
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// Histogram registers a histogram family. buckets are upper bounds
+// (+Inf is implicit); nil selects DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(name, help, buckets)
+	r.register(h)
+	return h
+}
+
+// Observe records one value. Nil-safe, lock-free, allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (tens), and a plain loop is
+	// provably allocation-free, unlike a closure-based binary search.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the selected bucket — the
+// /metrics consumer's p50/p99 helper. The estimate is bounded by the
+// bucket layout: values in the +Inf bucket report the largest finite
+// bound. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+		cum += c
+	}
+	// Observations beyond the last finite bound: report that bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
+func (h *Histogram) write(w *bufio.Writer) {
+	h.writeLabeled(w, nil)
+}
+
+// writeLabeled renders the histogram's series with extra (vec) labels
+// prepended to le.
+func (h *Histogram) writeLabeled(w *bufio.Writer, extra []Label) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		labels := append(append([]Label(nil), extra...), Label{Key: "le", Value: formatValue(b)})
+		writeSample(w, h.name+"_bucket", formatLabels(labels), float64(cum))
+	}
+	infLabels := append(append([]Label(nil), extra...), Label{Key: "le", Value: "+Inf"})
+	count := h.count.Load()
+	writeSample(w, h.name+"_bucket", formatLabels(infLabels), float64(count))
+	writeSample(w, h.name+"_sum", formatLabels(extra), h.sum.load())
+	writeSample(w, h.name+"_count", formatLabels(extra), float64(count))
+}
+
+// HistogramVec is a histogram family keyed by one label (e.g. HTTP
+// route), with per-value histograms created on first use and rendered
+// sorted by label value.
+type HistogramVec struct {
+	name, help string
+	label      string
+	buckets    []float64
+
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if !validLabelName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	if len(buckets) == 0 {
+		buckets = DurationBuckets()
+	}
+	v := &HistogramVec{name: name, help: help, label: label,
+		buckets: append([]float64(nil), buckets...), m: make(map[string]*Histogram)}
+	r.register(v)
+	return v
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use. Nil-safe (returns a nil *Histogram whose Observe is a
+// no-op).
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.m[value]
+	if h == nil {
+		h = newHistogram(v.name, v.help, v.buckets)
+		v.m[value] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
+func (v *HistogramVec) write(w *bufio.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.m[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		hs[i].writeLabeled(w, []Label{{Key: v.label, Value: k}})
+	}
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-format exposition and returns
+// every violation found (nil when clean). It enforces what the /metrics
+// tests and the CI smoke rely on:
+//
+//   - every sample line parses: valid metric name, well-formed quoted
+//     labels, a float64 value, optional integer timestamp
+//   - # HELP and # TYPE precede their family's first sample, appear at
+//     most once per family, and TYPE names a known metric type
+//   - a family's samples are contiguous (no family appears, yields to
+//     another, then reappears)
+//   - no duplicate series (same name and label set twice)
+//   - histogram sub-series (_bucket/_sum/_count) belong to a family
+//     declared "# TYPE ... histogram", and _bucket carries an le label
+//
+// The parser is intentionally strict about structure and permissive
+// about values — counters may be floats, gauges may be ±Inf — matching
+// what Prometheus itself accepts.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type familyState struct {
+		help, typ   string
+		sampled     bool // family has emitted at least one sample
+		closed      bool // a different family has sampled since
+		helpN, typN int  // occurrences
+	}
+	families := make(map[string]*familyState)
+	family := func(name string) *familyState {
+		f := families[name]
+		if f == nil {
+			f = &familyState{}
+			families[name] = f
+		}
+		return f
+	}
+	series := make(map[string]int) // rendered name+labels -> first line
+	lastFamily := ""
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment: legal, ignored
+			}
+			f := family(name)
+			if !validMetricName(name) {
+				fail(n, "# %s names invalid metric %q", kind, name)
+			}
+			if f.sampled {
+				fail(n, "# %s %s appears after the family's samples", kind, name)
+			}
+			switch kind {
+			case "HELP":
+				f.helpN++
+				if f.helpN > 1 {
+					fail(n, "duplicate # HELP for %s", name)
+				}
+				f.help = rest
+			case "TYPE":
+				f.typN++
+				if f.typN > 1 {
+					fail(n, "duplicate # TYPE for %s", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = rest
+				default:
+					fail(n, "# TYPE %s has unknown type %q", name, rest)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		_ = value
+		// Histogram/summary sub-series (_bucket/_sum/_count) report under
+		// their declared base family; anything else is its own family.
+		base := name
+		if b := baseFamily(name); b != name {
+			if fb := families[b]; fb != nil && (fb.typ == "histogram" || fb.typ == "summary") {
+				base = b
+			}
+		}
+		f := families[base]
+		if f == nil || f.typ == "" {
+			fail(n, "sample %s has no preceding # TYPE %s", name, base)
+			f = family(base)
+		}
+		if f.closed {
+			fail(n, "family %s reappears after other families' samples", base)
+		}
+		if strings.HasSuffix(name, "_bucket") && f.typ == "histogram" {
+			if !strings.Contains(labels, `le="`) {
+				fail(n, "histogram bucket %s missing le label", name)
+			}
+		}
+		if base != lastFamily {
+			if last := families[lastFamily]; last != nil && last.sampled {
+				last.closed = true
+			}
+			lastFamily = base
+		}
+		f.sampled = true
+		key := name + labels
+		if first, dup := series[key]; dup {
+			fail(n, "duplicate series %s%s (first at line %d)", name, labels, first)
+		} else {
+			series[key] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	return errs
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", "", false
+	}
+	kind, body, found = strings.Cut(body, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return kind, name, rest, true
+}
+
+// parseSample parses one sample line into its metric name, the raw
+// (normalized) label block, and the value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, perr := parseLabelBlock(rest)
+		if perr != nil {
+			return "", "", 0, fmt.Errorf("%v in %q", perr, line)
+		}
+		labels = rest[:end]
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valueStr, tsStr, _ := strings.Cut(rest, " ")
+	if valueStr == "" {
+		return "", "", 0, fmt.Errorf("missing value in %q", line)
+	}
+	value, err = parseFloat(valueStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q in %q", valueStr, line)
+	}
+	if tsStr = strings.TrimSpace(tsStr); tsStr != "" {
+		if _, terr := strconv.ParseInt(tsStr, 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q in %q", tsStr, line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabelBlock validates a {k="v",...} block starting at s[0] == '{'
+// and returns the index just past the closing brace.
+func parseLabelBlock(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ',' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label missing '='")
+		}
+		if !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label value")
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+					continue
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in label value", s[i+1])
+				}
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// baseFamily maps a sample name to its family name: histogram and
+// summary sub-series (_bucket, _sum, _count) report under their base
+// metric when that base was declared.
+func baseFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && base != "" {
+			return base
+		}
+	}
+	return name
+}

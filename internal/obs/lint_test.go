@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintText(s string) []error {
+	return LintExposition(strings.NewReader(s))
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	good := `# HELP a_total Things.
+# TYPE a_total counter
+a_total 3
+# HELP b_seconds Latency.
+# TYPE b_seconds histogram
+b_seconds_bucket{le="0.1"} 1
+b_seconds_bucket{le="+Inf"} 2
+b_seconds_sum 1.5
+b_seconds_count 2
+# HELP c_depth Depth.
+# TYPE c_depth gauge
+c_depth{q="a\"b\\c\nd"} 2.5e-3
+c_depth{q="plain"} +Inf
+`
+	if errs := lintText(good); errs != nil {
+		t.Fatalf("well-formed exposition rejected: %v", errs)
+	}
+}
+
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"missing TYPE", "a_total 1\n", "no preceding # TYPE"},
+		{"duplicate series", "# HELP a x\n# TYPE a gauge\na 1\na 2\n", "duplicate series"},
+		{"duplicate labeled series",
+			"# HELP a x\n# TYPE a gauge\na{l=\"v\"} 1\na{l=\"v\"} 2\n", "duplicate series"},
+		{"bad name", "# HELP 9bad x\n# TYPE 9bad gauge\n9bad 1\n", "invalid metric"},
+		{"bad value", "# HELP a x\n# TYPE a gauge\na one\n", "bad value"},
+		{"unquoted label", "# HELP a x\n# TYPE a gauge\na{l=v} 1\n", "not quoted"},
+		{"unterminated label", "# HELP a x\n# TYPE a gauge\na{l=\"v} 1\n", "unterminated"},
+		{"bad escape", "# HELP a x\n# TYPE a gauge\na{l=\"\\t\"} 1\n", "invalid escape"},
+		{"unknown type", "# HELP a x\n# TYPE a widget\na 1\n", "unknown type"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a gauge\na 1\n", "duplicate # TYPE"},
+		{"metadata after samples", "# TYPE a gauge\na 1\n# HELP a late\n", "after the family's samples"},
+		{"interleaved families",
+			"# TYPE a gauge\n# TYPE b gauge\na 1\nb 1\na 2\n", "reappears"},
+		{"bucket without le",
+			"# HELP h x\n# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n", "missing le"},
+		{"missing value", "# HELP a x\n# TYPE a gauge\na \n", "missing value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintText(tc.text)
+			if len(errs) == 0 {
+				t.Fatalf("lint accepted:\n%s", tc.text)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("errors %v missing %q", errs, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLintStandaloneCountMetric(t *testing.T) {
+	// A plain gauge whose name happens to end in _count is its own
+	// family, not an undeclared histogram sub-series.
+	text := "# HELP foo_count x\n# TYPE foo_count gauge\nfoo_count 1\n"
+	if errs := lintText(text); errs != nil {
+		t.Fatalf("standalone _count family rejected: %v", errs)
+	}
+}

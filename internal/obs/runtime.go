@@ -1,0 +1,41 @@
+package obs
+
+import "runtime"
+
+// RegisterGoRuntime adds Go runtime gauges to the registry under the
+// given name prefix (e.g. "paco_"):
+//
+//	<prefix>go_goroutines                    live goroutines
+//	<prefix>go_memstats_heap_alloc_bytes     bytes of allocated heap objects
+//	<prefix>go_gc_pause_seconds_total        cumulative GC stop-the-world pause
+//	<prefix>go_gc_cycles_total               completed GC cycles
+//
+// Each memstats-backed family takes its own ReadMemStats snapshot:
+// scrapes are rare and may run concurrently, so a shared snapshot would
+// need a lock that costs more than the redundant read.
+func RegisterGoRuntime(r *Registry, prefix string) {
+	r.GaugeFunc(prefix+"go_goroutines",
+		"Goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc(prefix+"go_gc_pause_seconds_total",
+		"Cumulative garbage-collection stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	r.CounterFunc(prefix+"go_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

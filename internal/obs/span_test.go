@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycleAndSnapshot(t *testing.T) {
+	rec := NewRecorder(64)
+	trace := NewTraceID()
+
+	root := rec.Start(trace, "job", "j-000001", 0)
+	root.Set("cells", "4")
+	if !root.Enabled() || root.ID() == 0 {
+		t.Fatal("enabled span reports disabled")
+	}
+	child := rec.Start(trace, "cell", "gzip", root.ID())
+	if rec.Active() != 2 {
+		t.Fatalf("active = %d, want 2", rec.Active())
+	}
+	child.End("boom")
+	root.End("")
+	if rec.Active() != 0 {
+		t.Fatalf("active = %d, want 0 after End", rec.Active())
+	}
+	root.End("") // double End is a no-op
+	if got := rec.Recorded(); got != 2 {
+		t.Fatalf("recorded = %d, want 2", got)
+	}
+
+	spans := rec.Snapshot(Filter{Trace: trace})
+	if len(spans) != 2 {
+		t.Fatalf("snapshot returned %d spans, want 2", len(spans))
+	}
+	// Chronological by end time: child ended first.
+	if spans[0].Kind != "cell" || spans[1].Kind != "job" {
+		t.Fatalf("order wrong: %q then %q", spans[0].Kind, spans[1].Kind)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %d, want %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].Err != "boom" || spans[1].Err != "" {
+		t.Fatalf("errors wrong: %q / %q", spans[0].Err, spans[1].Err)
+	}
+	if spans[1].Attr("cells") != "4" {
+		t.Fatalf("attr cells = %q, want 4", spans[1].Attr("cells"))
+	}
+	if spans[0].End.Before(spans[0].Start) || spans[0].DurationMS < 0 {
+		t.Fatal("span clock went backwards")
+	}
+
+	if got := rec.Snapshot(Filter{Kind: "cell"}); len(got) != 1 || got[0].Name != "gzip" {
+		t.Fatalf("kind filter returned %+v", got)
+	}
+	if got := rec.Snapshot(Filter{Trace: "nonesuch"}); len(got) != 0 {
+		t.Fatalf("trace filter leaked %d spans", len(got))
+	}
+	if got := rec.Snapshot(Filter{Limit: 1}); len(got) != 1 || got[0].Kind != "job" {
+		t.Fatalf("limit filter kept %+v, want the most recent span", got)
+	}
+}
+
+func TestDisabledRecorder(t *testing.T) {
+	var rec *Recorder
+	sp := rec.Start("t", "k", "n", 0)
+	if sp.Enabled() || sp.ID() != 0 {
+		t.Fatal("nil recorder produced an enabled span")
+	}
+	sp.Set("k", "v")
+	sp.End("err")
+	if rec.Snapshot(Filter{}) != nil || rec.Active() != 0 || rec.Recorded() != 0 || rec.Capacity() != 0 {
+		t.Fatal("nil recorder retained state")
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	rec := NewRecorder(16) // 2 per stripe
+	for i := 0; i < 100; i++ {
+		sp := rec.Start("t", "k", fmt.Sprintf("s%03d", i), 0)
+		sp.End("")
+	}
+	if got := rec.Recorded(); got != 100 {
+		t.Fatalf("recorded = %d, want 100", got)
+	}
+	spans := rec.Snapshot(Filter{})
+	if len(spans) != rec.Capacity() {
+		t.Fatalf("retained %d spans, want capacity %d", len(spans), rec.Capacity())
+	}
+	// Everything retained is from the recent tail.
+	for _, sp := range spans {
+		var n int
+		fmt.Sscanf(sp.Name, "s%d", &n)
+		if n < 100-2*rec.Capacity() {
+			t.Fatalf("ring retained ancient span %s", sp.Name)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := rec.Start("t", "k", "n", 0)
+				sp.Set("w", "x")
+				sp.End("")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := rec.Recorded(); got != 1600 {
+		t.Fatalf("recorded = %d, want 1600", got)
+	}
+	if rec.Active() != 0 {
+		t.Fatalf("active = %d, want 0", rec.Active())
+	}
+}
+
+func TestSpanAttrOverflowDropped(t *testing.T) {
+	rec := NewRecorder(8)
+	sp := rec.Start("t", "k", "n", 0)
+	for i := 0; i < maxSpanAttrs+3; i++ {
+		sp.Set(fmt.Sprintf("k%d", i), "v")
+	}
+	sp.End("")
+	spans := rec.Snapshot(Filter{})
+	if len(spans) != 1 || len(spans[0].Attrs) != maxSpanAttrs {
+		t.Fatalf("attrs = %d, want %d", len(spans[0].Attrs), maxSpanAttrs)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanClock(t *testing.T) {
+	rec := NewRecorder(8)
+	sp := rec.Start("t", "k", "n", 0)
+	time.Sleep(2 * time.Millisecond)
+	sp.End("")
+	spans := rec.Snapshot(Filter{})
+	if len(spans) != 1 {
+		t.Fatal("span not recorded")
+	}
+	if spans[0].DurationMS < 1 {
+		t.Fatalf("duration = %vms, want >= 1ms", spans[0].DurationMS)
+	}
+}

@@ -20,6 +20,18 @@ type Sampler struct {
 	wall     time.Duration
 	samples  uint64
 	lastRate float64
+	onRate   func(kcyclesPerSec float64)
+}
+
+// OnRate installs a callback invoked with each productive run's
+// kcycles/sec, under the sampler's lock — keep it cheap. paco-serve
+// feeds a throughput histogram through it, so /metrics carries the
+// rate *distribution* (stragglers, modality), not just the cumulative
+// and last-run point values. Call before the first Observe.
+func (s *Sampler) OnRate(fn func(kcyclesPerSec float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onRate = fn
 }
 
 // Observe records one completed run. Runs with no simulated cycles or no
@@ -34,6 +46,9 @@ func (s *Sampler) Observe(cycles uint64, wall time.Duration) {
 	s.cycles += cycles
 	s.wall += wall
 	s.lastRate = float64(cycles) / wall.Seconds() / 1e3
+	if s.onRate != nil {
+		s.onRate(s.lastRate)
+	}
 }
 
 // Totals returns the cumulative simulated cycles, wall time, and

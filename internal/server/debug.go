@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"paco/internal/obs"
+)
+
+// Debug surface: GET /debug/flight dumps the span flight recorder, and
+// (only when Config.EnablePprof is set) /debug/pprof/ mounts the
+// standard runtime profiles on the server's own mux — never on
+// http.DefaultServeMux, so an unconfigured server exposes nothing.
+
+// FlightReport is the body of GET /debug/flight: recorder totals plus
+// the retained spans matching the query filters, oldest first.
+type FlightReport struct {
+	// Capacity is how many finished spans the ring retains; Recorded
+	// counts spans ever committed; Active counts spans started but not
+	// yet ended (nonzero on a quiescent server means a leaked span).
+	Capacity int    `json:"capacity"`
+	Recorded uint64 `json:"recorded"`
+	Active   int64  `json:"active"`
+
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// handleFlight is GET /debug/flight. Query parameters: kind and trace
+// filter spans, limit keeps only the most recent N matches.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	f := obs.Filter{
+		Kind:  r.URL.Query().Get("kind"),
+		Trace: r.URL.Query().Get("trace"),
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			errorJSON(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	rec := s.obs.rec
+	report := FlightReport{
+		Capacity: rec.Capacity(),
+		Recorded: rec.Recorded(),
+		Active:   rec.Active(),
+		Spans:    rec.Snapshot(f),
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// Flight exposes the server's span recorder (nil when Config.FlightSpans
+// is negative) — servertest wires in-process federation workers to it so
+// a whole cluster records into one flight recorder.
+func (s *Server) Flight() *obs.Recorder { return s.obs.rec }
+
+// registerDebug mounts the debug routes on the server mux.
+func (s *Server) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	if !s.cfg.EnablePprof {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

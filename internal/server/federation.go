@@ -4,12 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 	"time"
 
 	"paco/internal/campaign"
+	"paco/internal/obs"
 )
 
 // Federation — the coordinator side of distributed sharded campaigns.
@@ -69,6 +69,14 @@ type ShardLease struct {
 	// TTLMS is the lease duration in milliseconds; a worker that cannot
 	// finish and post within it should assume the shard will be re-leased.
 	TTLMS int64 `json:"ttl_ms"`
+
+	// Trace is the submitting job's trace ID, propagated so worker-side
+	// spans and logs correlate with the coordinator's; it also rides the
+	// X-Paco-Trace response header. Span is the coordinator's lease span
+	// ID — the parent for the worker's execution spans, completing the
+	// cross-process job → lease → execute → cell chain.
+	Trace string `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
 }
 
 // ShardRenewal is the body a worker POSTs to /v1/shards/{id}/renew
@@ -106,12 +114,20 @@ type shardTask struct {
 	worker   string
 	leasedAt time.Time
 	retries  int
+
+	// span covers the current lease from grant to settlement. Expiry or
+	// a reported failure ends it with the retry cause; the next lease
+	// opens a fresh one, so each attempt is its own flight-recorder
+	// entry. Zero (disabled) while unleased.
+	span obs.Span
 }
 
 // distCampaign is one distributed campaign in flight: the coordinator
 // side of a distribute call waiting for its shards.
 type distCampaign struct {
 	id        string
+	trace     string // correlates the campaign's spans and logs
+	parent    uint64 // span the campaign's lease spans parent to
 	remaining int
 	pieces    [][]campaign.Result // by shard ordinal
 	err       error
@@ -166,7 +182,7 @@ type federation struct {
 	liveness   time.Duration
 	retryLimit int
 	cache      *Cache
-	log        *log.Logger
+	obs        *serverObs
 
 	mu        sync.Mutex
 	pending   []*shardTask            // FIFO; expired re-leases jump the queue
@@ -179,7 +195,7 @@ type federation struct {
 	shardsCompleted uint64
 }
 
-func newFederation(ttl, liveness time.Duration, retryLimit int, cache *Cache, logger *log.Logger) *federation {
+func newFederation(ttl, liveness time.Duration, retryLimit int, cache *Cache, o *serverObs) *federation {
 	if ttl <= 0 {
 		ttl = 30 * time.Second
 	}
@@ -194,7 +210,7 @@ func newFederation(ttl, liveness time.Duration, retryLimit int, cache *Cache, lo
 		liveness:   liveness,
 		retryLimit: retryLimit,
 		cache:      cache,
-		log:        logger,
+		obs:        o,
 		tasks:      make(map[string][]*shardTask),
 		leases:     make(map[string]*shardTask),
 		workers:    make(map[string]*workerState),
@@ -219,7 +235,10 @@ func shardCacheKey(shardID string) string {
 //
 // The call blocks until every shard completes, a shard exhausts its
 // retries, or ctx is cancelled (remaining shards are withdrawn).
-func (f *federation) distribute(ctx context.Context, campaignID string, grid *campaign.Grid, size, shards int, onShard func(cellsDone int, shardID string)) ([]campaign.Result, error) {
+//
+// trace correlates the campaign's spans and logs (see obs.NewTraceID);
+// parent, when nonzero, is the span every shard lease parents to.
+func (f *federation) distribute(ctx context.Context, campaignID, trace string, parent uint64, grid *campaign.Grid, size, shards int, onShard func(cellsDone int, shardID string)) ([]campaign.Result, error) {
 	if size == 0 {
 		return nil, nil
 	}
@@ -242,6 +261,7 @@ func (f *federation) distribute(ctx context.Context, campaignID string, grid *ca
 					p.cached = results
 				}
 			}
+			f.obs.lookup("shard", p.cached != nil)
 			plan = append(plan, p)
 		}
 	} else {
@@ -258,6 +278,8 @@ func (f *federation) distribute(ctx context.Context, campaignID string, grid *ca
 
 	d := &distCampaign{
 		id:        campaignID,
+		trace:     trace,
+		parent:    parent,
 		remaining: len(plan),
 		pieces:    make([][]campaign.Result, len(plan)),
 		done:      make(chan struct{}),
@@ -267,7 +289,11 @@ func (f *federation) distribute(ctx context.Context, campaignID string, grid *ca
 	f.mu.Lock()
 	for i, p := range plan {
 		if p.cached != nil {
+			// Cache-settled shards never lease, but still leave a span so
+			// the flight recorder accounts for every shard of the campaign.
+			sp := f.obs.rec.Start(trace, "shard.cached", short(p.id), parent)
 			d.finishShard(i, p.id, p.cached)
+			sp.End("")
 			continue
 		}
 		t := &shardTask{id: p.id, dist: d, ordinal: i, grid: grid, lo: p.lo, hi: p.hi}
@@ -311,6 +337,10 @@ func (f *federation) settleTaskLocked(t *shardTask) {
 		return
 	}
 	t.done = true
+	// Completion and requeue paths end the lease span with their own
+	// verdict first; a span still open here means the task was withdrawn
+	// (campaign cancelled or failed elsewhere).
+	t.span.End("withdrawn")
 	if t.leaseID != "" {
 		delete(f.leases, t.leaseID)
 		t.leaseID = ""
@@ -374,8 +404,10 @@ func (f *federation) expireLocked(now time.Time) {
 			t.leaseID = ""
 			t.retries++
 			f.retriesTotal++
-			f.log.Printf("federation: lease on shard %s (worker %s) expired; re-queueing (retry %d)",
-				short(t.id), t.worker, t.retries)
+			t.span.Set("retry_cause", "lease expired")
+			t.span.End("lease expired")
+			f.obs.log.Warn("lease expired; re-queueing shard",
+				"shard", short(t.id), "worker", t.worker, "retry", t.retries, "trace", t.dist.trace)
 			if t.retries > f.retryLimit {
 				f.failCampaignLocked(t.dist, fmt.Errorf("server: shard %s exceeded %d retries (last worker %s)",
 					short(t.id), f.retryLimit, t.worker))
@@ -421,6 +453,9 @@ func (f *federation) lease(workerName string) (ShardLease, bool) {
 		t.leasedAt = now
 		f.leases[t.leaseID] = t
 		w.leased++
+		t.span = f.obs.rec.Start(t.dist.trace, "shard.lease", short(t.id), t.dist.parent)
+		t.span.Set("worker", workerName)
+		t.span.Set("lease", t.leaseID)
 		return ShardLease{
 			LeaseID:  t.leaseID,
 			ShardID:  t.id,
@@ -429,6 +464,8 @@ func (f *federation) lease(workerName string) (ShardLease, bool) {
 			Lo:       t.lo,
 			Hi:       t.hi,
 			TTLMS:    f.ttl.Milliseconds(),
+			Trace:    t.dist.trace,
+			Span:     t.span.ID(),
 		}, true
 	}
 	return ShardLease{}, false
@@ -457,6 +494,12 @@ func (f *federation) renew(shardID string, ren ShardRenewal) (int, string) {
 		return 410, "lease no longer held"
 	}
 	t.leasedAt = now
+	// Each renewal is a point event in the lease's lifecycle: a zero-
+	// length child span of the lease span, so /debug/flight shows the
+	// full lease → renew* → result chain.
+	sp := f.obs.rec.Start(t.dist.trace, "shard.renew", short(t.id), t.span.ID())
+	sp.Set("worker", canonicalWorker(ren.Worker))
+	sp.End("")
 	return 200, "renewed"
 }
 
@@ -485,8 +528,11 @@ func (f *federation) result(shardID string, post ShardResultPost) (int, string) 
 		}
 		t.retries++
 		f.retriesTotal++
-		f.log.Printf("federation: shard %s from worker %s: %s; re-queueing (retry %d)",
-			short(t.id), worker, reason, t.retries)
+		t.span.Set("retry_cause", reason)
+		t.span.End(reason)
+		f.obs.log.Warn("shard failed; re-queueing",
+			"shard", short(t.id), "worker", worker, "reason", reason,
+			"retry", t.retries, "trace", t.dist.trace)
 		if t.retries > f.retryLimit {
 			f.failCampaignLocked(t.dist, fmt.Errorf("server: shard %s exceeded %d retries: %s",
 				short(t.id), f.retryLimit, reason))
@@ -524,6 +570,13 @@ func (f *federation) result(shardID string, post ShardResultPost) (int, string) 
 		}
 	}
 	for _, t := range ts {
+		// End the lease span before settling so the settle catch-all
+		// cannot mislabel a completed shard as withdrawn. A task leased
+		// elsewhere (or never leased) carries a span for its own lease
+		// attempt; ending it with the completing worker records who
+		// actually delivered the bytes.
+		t.span.Set("completed_by", worker)
+		t.span.End("")
 		f.settleTaskLocked(t)
 		t.dist.finishShard(t.ordinal, shardID, post.Results)
 	}

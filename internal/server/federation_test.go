@@ -3,19 +3,32 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"io"
-	"log"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"paco/internal/campaign"
+	"paco/internal/obs"
 )
+
+// testObs is the minimal serverObs a bare federation needs: a recorder
+// for lease spans, a nop logger, and the lookup counter. Scrape-backed
+// families are irrelevant here, so no full Server is constructed.
+func testObs() *serverObs {
+	r := obs.NewRegistry()
+	return &serverObs{
+		reg: r,
+		rec: obs.NewRecorder(0),
+		log: obs.NopLogger(),
+		cacheLookups: r.CounterVec("paco_cache_lookups_total",
+			"Content-addressed lookups by kind and outcome.", "kind", "outcome"),
+	}
+}
 
 func testFederation(ttl time.Duration, retryLimit int) *federation {
 	cache, _ := NewCache(1<<20, "")
-	return newFederation(ttl, time.Minute, retryLimit, cache, log.New(io.Discard, "", 0))
+	return newFederation(ttl, time.Minute, retryLimit, cache, testObs())
 }
 
 // fakeResults builds a plausible shard result slice for cells [lo, hi).
@@ -38,7 +51,7 @@ func TestFederationLeaseProtocol(t *testing.T) {
 	}
 	doneCh := make(chan done, 1)
 	go func() {
-		results, err := f.distribute(context.Background(), "c-1", nil, 5, 2, nil)
+		results, err := f.distribute(context.Background(), "c-1", "", 0, nil, 5, 2, nil)
 		doneCh <- done{results, err}
 	}()
 
@@ -96,7 +109,7 @@ func TestFederationExpiryRetriesAndFailure(t *testing.T) {
 	f := testFederation(ttl, 2)
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := f.distribute(context.Background(), "c-1", nil, 2, 1, nil)
+		_, err := f.distribute(context.Background(), "c-1", "", 0, nil, 2, 1, nil)
 		errCh <- err
 	}()
 
@@ -147,7 +160,7 @@ func TestFederationRenewalKeepsSlowShardAlive(t *testing.T) {
 	}
 	doneCh := make(chan done, 1)
 	go func() {
-		results, err := f.distribute(context.Background(), "c-1", nil, 2, 1, nil)
+		results, err := f.distribute(context.Background(), "c-1", "", 0, nil, 2, 1, nil)
 		doneCh <- done{results, err}
 	}()
 	var lease ShardLease
@@ -196,7 +209,7 @@ func TestFederationMalformedResultRequeues(t *testing.T) {
 	f := testFederation(time.Minute, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel() // unblocks the distribute goroutine at test end
-	go f.distribute(ctx, "c-1", nil, 4, 1, nil)
+	go f.distribute(ctx, "c-1", "", 0, nil, 4, 1, nil)
 
 	var lease ShardLease
 	for {

@@ -26,6 +26,10 @@ type job struct {
 	key   string
 	grid  campaign.Grid
 	cells int
+	// trace correlates the job's spans and logs across processes — set
+	// at submission (client-supplied X-Paco-Trace or server-minted) and
+	// propagated to federation workers in their shard leases.
+	trace string
 	// fromCache records how the job was answered at submission: "miss"
 	// (simulated), "hit" (served from the content-addressed cache).
 	fromCache string
@@ -45,12 +49,13 @@ type job struct {
 	doneCh chan struct{} // closed when the job reaches a terminal state
 }
 
-func newJob(id, key string, grid campaign.Grid, cells int) *job {
+func newJob(id, key string, grid campaign.Grid, cells int, trace string) *job {
 	return &job{
 		id:        id,
 		key:       key,
 		grid:      grid,
 		cells:     cells,
+		trace:     trace,
 		fromCache: "miss",
 		state:     stateQueued,
 		created:   time.Now().UTC(),
@@ -64,6 +69,7 @@ func newJob(id, key string, grid campaign.Grid, cells int) *job {
 type JobStatus struct {
 	ID     string        `json:"id"`
 	Key    string        `json:"key"`
+	Trace  string        `json:"trace,omitempty"`
 	Status string        `json:"status"`
 	Cache  string        `json:"cache"`
 	Spec   campaign.Grid `json:"spec"`
@@ -97,6 +103,7 @@ func (j *job) status(withResults bool) JobStatus {
 	st := JobStatus{
 		ID:      j.id,
 		Key:     j.key,
+		Trace:   j.trace,
 		Status:  j.state,
 		Cache:   j.fromCache,
 		Spec:    j.grid,

@@ -1,91 +1,14 @@
 package server
 
-import (
-	"fmt"
-	"net/http"
-	"time"
+import "net/http"
 
-	"paco/internal/version"
-)
-
-// handleMetrics is GET /metrics: the server's operational counters in
-// Prometheus text exposition format (stdlib only — the format is just
-// lines of "name{labels} value"). Exported:
-//
-//   - queue depth/capacity and jobs in flight
-//   - job outcomes (done/failed) and campaigns actually simulated
-//   - content-addressed cache hits, misses, entries, bytes, budget
-//   - simulated cycles and kcycles/sec from the internal/perf sampler
-//   - federation state: pending/leased shards, retries, oldest lease
-//     age, and per-worker liveness (a worker is live while it has
-//     checked in within Config.WorkerLiveness)
+// handleMetrics is GET /metrics: every family registered in the obs
+// registry — see newServerObs for the catalog — rendered in Prometheus
+// text exposition format. The legacy hand-rolled families survive
+// name-for-name (the golden-names test pins them); the registry adds
+// per-cell simulation histograms, HTTP route timings, cache lookup
+// outcomes, flight-recorder counters, and Go runtime gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	info := version.Get()
-	cs := s.cache.Stats()
-	fs := s.fed.stats()
-	cycles, wall, samples := s.sampler.Totals()
-
-	type metric struct {
-		name, help, typ string
-		lines           []string
-	}
-	g := func(name, help string, v any) metric {
-		return metric{name, help, "gauge", []string{fmt.Sprintf("%s %v", name, v)}}
-	}
-	workerLines := make([]string, 0, len(fs.Workers))
-	for _, ws := range fs.Workers {
-		workerLines = append(workerLines, fmt.Sprintf("paco_federation_worker_last_seen_seconds{worker=%q} %.3f",
-			ws.Name, ws.LastSeenAge.Seconds()))
-	}
-	c := func(name, help string, v any) metric {
-		return metric{name, help, "counter", []string{fmt.Sprintf("%s %v", name, v)}}
-	}
-	metrics := []metric{
-		{"paco_build_info", "Build metadata of the running server.", "gauge",
-			[]string{fmt.Sprintf("paco_build_info{version=%q,go=%q} 1", info.Version, info.GoVersion)}},
-		g("paco_uptime_seconds", "Seconds since the server started.",
-			fmt.Sprintf("%.3f", time.Since(s.started).Seconds())),
-		g("paco_queue_depth", "Jobs waiting in the bounded queue.", len(s.queue)),
-		g("paco_queue_capacity", "Capacity of the bounded queue.", s.cfg.QueueSize),
-		g("paco_jobs_inflight", "Jobs executing right now.", s.running.Load()),
-		{"paco_jobs_total", "Settled jobs by outcome.", "counter", []string{
-			fmt.Sprintf("paco_jobs_total{status=\"done\"} %d", s.jobsDone.Load()),
-			fmt.Sprintf("paco_jobs_total{status=\"failed\"} %d", s.jobsFailed.Load()),
-		}},
-		c("paco_simulations_total", "Campaigns actually simulated (cache misses that ran).", s.simsRun.Load()),
-		c("paco_sim_cells_total", "Campaign cells simulated.", s.cellsRun.Load()),
-		c("paco_cache_hits_total", "Content-addressed cache hits.", cs.Hits),
-		c("paco_cache_misses_total", "Content-addressed cache misses.", cs.Misses),
-		g("paco_cache_entries", "Entries resident in the cache.", cs.Entries),
-		g("paco_cache_bytes", "Bytes resident in the cache.", cs.Bytes),
-		g("paco_cache_budget_bytes", "Cache byte budget.", cs.Budget),
-		c("paco_sim_cycles_total", "Simulated cycles across all executed jobs.", cycles),
-		c("paco_sim_wall_seconds_total", "Wall seconds spent simulating.",
-			fmt.Sprintf("%.3f", wall.Seconds())),
-		c("paco_sim_samples_total", "Throughput observations recorded.", samples),
-		g("paco_sim_kcycles_per_sec", "Cumulative simulated kcycles per wall second (internal/perf sampler).",
-			fmt.Sprintf("%.3f", s.sampler.KCyclesPerSec())),
-		g("paco_sim_kcycles_per_sec_last", "Most recent job's simulated kcycles per wall second.",
-			fmt.Sprintf("%.3f", s.sampler.LastKCyclesPerSec())),
-		g("paco_federation_shards_pending", "Shards queued for lease.", fs.ShardsPending),
-		g("paco_federation_shards_leased", "Shards currently leased to workers.", fs.ShardsLeased),
-		c("paco_federation_shards_completed_total", "Shards completed by the federation.", fs.ShardsCompleted),
-		c("paco_federation_shard_retries_total", "Shard re-leases after lease expiry or worker-reported failure.", fs.Retries),
-		g("paco_federation_lease_age_seconds_max", "Age of the oldest outstanding lease.",
-			fmt.Sprintf("%.3f", fs.OldestLeaseAge.Seconds())),
-		g("paco_federation_workers_live", "Workers that checked in within the liveness window.", fs.WorkersLive),
-		{"paco_federation_worker_last_seen_seconds",
-			"Seconds since each federation worker last checked in.", "gauge", workerLines},
-	}
-	for _, m := range metrics {
-		if len(m.lines) == 0 {
-			continue
-		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
-		for _, line := range m.lines {
-			fmt.Fprintln(w, line)
-		}
-	}
+	s.obs.reg.WritePrometheus(w)
 }

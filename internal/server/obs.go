@@ -1,0 +1,144 @@
+package server
+
+import (
+	"log/slog"
+	"time"
+
+	"paco/internal/obs"
+	"paco/internal/version"
+)
+
+// serverObs bundles the server's observability plumbing: the metric
+// registry behind GET /metrics, the flight recorder behind
+// GET /debug/flight, the structured logger, and the push-style
+// instruments the hot paths write into. One serverObs is built per
+// Server and shared with its federation; in-process worker federations
+// (servertest) attach to the same recorder and histograms through
+// Server.InstrumentWorker so a whole cluster records into one place.
+type serverObs struct {
+	reg *obs.Registry
+	rec *obs.Recorder
+	log *slog.Logger
+
+	// Per-cell simulation timings. Observed by the local campaign runner
+	// and by in-process federation workers wired via InstrumentWorker.
+	cellDuration  *obs.Histogram // simulate seconds per cell
+	cellQueueWait *obs.Histogram // seconds from campaign start to cell pickup
+
+	// HTTP server-side request accounting, labeled by mux route pattern.
+	httpDuration *obs.HistogramVec
+	httpRequests *obs.CounterVec
+
+	// Content-addressed lookup outcomes by kind (job, shard, experiment).
+	cacheLookups *obs.CounterVec
+}
+
+// newServerObs builds the registry and instruments for one server. The
+// legacy families (everything the pre-registry /metrics exported) are
+// registered first, name-for-name and in the original order, backed by
+// scrape-time callbacks into live server state; the instrumentation
+// families and Go runtime gauges follow.
+func newServerObs(s *Server, logger *slog.Logger, flightSpans int) *serverObs {
+	o := &serverObs{
+		reg: obs.NewRegistry(),
+		log: obs.OrNop(logger),
+	}
+	if flightSpans >= 0 {
+		o.rec = obs.NewRecorder(flightSpans)
+	}
+	r := o.reg
+
+	info := version.Get()
+	r.Func("paco_build_info", "gauge", "Build metadata of the running server.",
+		func(emit func(float64, ...obs.Label)) {
+			emit(1, obs.L("version", info.Version), obs.L("go", info.GoVersion))
+		})
+	r.GaugeFunc("paco_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("paco_queue_depth", "Jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("paco_queue_capacity", "Capacity of the bounded queue.",
+		func() float64 { return float64(s.cfg.QueueSize) })
+	r.GaugeFunc("paco_jobs_inflight", "Jobs executing right now.",
+		func() float64 { return float64(s.running.Load()) })
+	r.Func("paco_jobs_total", "counter", "Settled jobs by outcome.",
+		func(emit func(float64, ...obs.Label)) {
+			emit(float64(s.jobsDone.Load()), obs.L("status", "done"))
+			emit(float64(s.jobsFailed.Load()), obs.L("status", "failed"))
+		})
+	r.CounterFunc("paco_simulations_total", "Campaigns actually simulated (cache misses that ran).",
+		func() float64 { return float64(s.simsRun.Load()) })
+	r.CounterFunc("paco_sim_cells_total", "Campaign cells simulated.",
+		func() float64 { return float64(s.cellsRun.Load()) })
+	r.CounterFunc("paco_cache_hits_total", "Content-addressed cache hits.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.CounterFunc("paco_cache_misses_total", "Content-addressed cache misses.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.GaugeFunc("paco_cache_entries", "Entries resident in the cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.GaugeFunc("paco_cache_bytes", "Bytes resident in the cache.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	r.GaugeFunc("paco_cache_budget_bytes", "Cache byte budget.",
+		func() float64 { return float64(s.cache.Stats().Budget) })
+	r.CounterFunc("paco_sim_cycles_total", "Simulated cycles across all executed jobs.",
+		func() float64 { cycles, _, _ := s.sampler.Totals(); return float64(cycles) })
+	r.CounterFunc("paco_sim_wall_seconds_total", "Wall seconds spent simulating.",
+		func() float64 { _, wall, _ := s.sampler.Totals(); return wall.Seconds() })
+	r.CounterFunc("paco_sim_samples_total", "Throughput observations recorded.",
+		func() float64 { _, _, samples := s.sampler.Totals(); return float64(samples) })
+	r.GaugeFunc("paco_sim_kcycles_per_sec", "Cumulative simulated kcycles per wall second (internal/perf sampler).",
+		s.sampler.KCyclesPerSec)
+	r.GaugeFunc("paco_sim_kcycles_per_sec_last", "Most recent job's simulated kcycles per wall second.",
+		s.sampler.LastKCyclesPerSec)
+	r.GaugeFunc("paco_federation_shards_pending", "Shards queued for lease.",
+		func() float64 { return float64(s.fed.stats().ShardsPending) })
+	r.GaugeFunc("paco_federation_shards_leased", "Shards currently leased to workers.",
+		func() float64 { return float64(s.fed.stats().ShardsLeased) })
+	r.CounterFunc("paco_federation_shards_completed_total", "Shards completed by the federation.",
+		func() float64 { return float64(s.fed.stats().ShardsCompleted) })
+	r.CounterFunc("paco_federation_shard_retries_total", "Shard re-leases after lease expiry or worker-reported failure.",
+		func() float64 { return float64(s.fed.stats().Retries) })
+	r.GaugeFunc("paco_federation_lease_age_seconds_max", "Age of the oldest outstanding lease.",
+		func() float64 { return s.fed.stats().OldestLeaseAge.Seconds() })
+	r.GaugeFunc("paco_federation_workers_live", "Workers that checked in within the liveness window.",
+		func() float64 { return float64(s.fed.stats().WorkersLive) })
+	r.Func("paco_federation_worker_last_seen_seconds", "gauge",
+		"Seconds since each federation worker last checked in.",
+		func(emit func(float64, ...obs.Label)) {
+			for _, ws := range s.fed.stats().Workers {
+				emit(ws.LastSeenAge.Seconds(), obs.L("worker", ws.Name))
+			}
+		})
+
+	// Instrumentation families introduced with the obs registry.
+	o.cellDuration = r.Histogram("paco_sim_cell_duration_seconds",
+		"Simulation wall seconds per campaign cell.", obs.DurationBuckets())
+	o.cellQueueWait = r.Histogram("paco_sim_cell_queue_wait_seconds",
+		"Seconds a cell waited from campaign start to worker pickup.", obs.DurationBuckets())
+	o.httpRequests = r.CounterVec("paco_http_requests_total",
+		"HTTP requests served, by mux route and status code.", "route", "code")
+	o.httpDuration = r.HistogramVec("paco_http_request_duration_seconds",
+		"HTTP request duration by mux route.", "route", obs.DurationBuckets())
+	o.cacheLookups = r.CounterVec("paco_cache_lookups_total",
+		"Content-addressed lookups by kind (job, shard, experiment) and outcome.", "kind", "outcome")
+	// Per-run throughput as a distribution (not just the cumulative and
+	// last-run gauges above): buckets span ~1e2..1e7 kcycles/sec.
+	rateHist := r.Histogram("paco_sim_job_kcycles_per_sec",
+		"Per-run simulated kilocycles per wall second.", obs.ExpBuckets(100, 4, 9))
+	s.sampler.OnRate(rateHist.Observe)
+	r.CounterFunc("paco_flight_spans_recorded_total", "Spans committed to the flight recorder.",
+		func() float64 { return float64(o.rec.Recorded()) })
+	r.GaugeFunc("paco_flight_spans_active", "Spans started but not yet ended.",
+		func() float64 { return float64(o.rec.Active()) })
+	obs.RegisterGoRuntime(r, "paco_")
+	return o
+}
+
+// lookup records a content-addressed lookup outcome.
+func (o *serverObs) lookup(kind string, hit bool) {
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	o.cacheLookups.With(kind, outcome).Inc()
+}

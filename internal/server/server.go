@@ -22,15 +22,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"paco/internal/campaign"
 	"paco/internal/experiments"
+	"paco/internal/obs"
 	"paco/internal/perf"
 	"paco/internal/version"
 )
@@ -80,8 +82,19 @@ type Config struct {
 	// experiments.Default(), the scale cmd/paco-repro runs at).
 	Experiments *experiments.Config
 
-	// Log receives operational messages (nil discards them).
-	Log *log.Logger
+	// Log receives structured operational messages (nil discards them).
+	// Every job-lifecycle record carries the job's trace ID.
+	Log *slog.Logger
+
+	// FlightSpans caps how many finished spans the flight recorder
+	// behind GET /debug/flight retains (0 selects 4096; negative
+	// disables span recording entirely).
+	FlightSpans int
+
+	// EnablePprof mounts net/http/pprof at /debug/pprof/ on the
+	// server's mux. Off by default: profiles expose internals and cost
+	// CPU, so production deployments opt in explicitly.
+	EnablePprof bool
 }
 
 // Server executes simulation jobs behind an HTTP API. Construct with
@@ -93,6 +106,7 @@ type Server struct {
 	cache  *Cache
 	fed    *federation
 	mux    *http.ServeMux
+	obs    *serverObs
 
 	nextCampaign atomic.Uint64 // Distribute campaign IDs
 
@@ -151,9 +165,6 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.New(io.Discard, "", 0)
-	}
 	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -174,7 +185,8 @@ func New(cfg Config) (*Server, error) {
 		started:    time.Now(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
-	s.fed = newFederation(cfg.LeaseTTL, cfg.WorkerLiveness, cfg.ShardRetryLimit, cache, cfg.Log)
+	s.obs = newServerObs(s, cfg.Log, cfg.FlightSpans)
+	s.fed = newFederation(cfg.LeaseTTL, cfg.WorkerLiveness, cfg.ShardRetryLimit, cache, s.obs)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -186,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.registerDebug(mux)
 	s.mux = mux
 	return s, nil
 }
@@ -217,14 +230,46 @@ func (s *Server) Close() {
 }
 
 // Handler returns the server's HTTP handler: the API mux wrapped with
-// the build stamp header.
+// the build stamp header and per-route request accounting (duration
+// histogram and status-code counter, labeled by the mux route pattern
+// so cardinality stays bounded by the route table, not by client URLs).
 func (s *Server) Handler() http.Handler {
 	stamp := version.Get().String()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Paco-Version", stamp)
-		s.mux.ServeHTTP(w, r)
+		route := "other"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+		s.obs.httpDuration.With(route).Observe(time.Since(start).Seconds())
+		s.obs.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
 	})
 }
+
+// statusWriter captures the response status for the request counter. It
+// implements http.Flusher unconditionally (flushing is a no-op when the
+// underlying writer cannot) so the SSE handler's Flusher assertion keeps
+// working through the middleware, and Unwrap for ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // SimulationsRun reports how many campaigns were actually simulated (as
 // opposed to answered from the cache) — the counter the single-flight
@@ -296,7 +341,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, outcome, err := s.submit(grid, key, cells)
+	// The job's trace ID correlates everything the submission causes —
+	// spans, logs, shard leases on remote workers — across processes.
+	// Clients may supply their own via the X-Paco-Trace header; otherwise
+	// the server mints one. Either way the authoritative ID (an inflight
+	// duplicate keeps the first submission's) echoes back in the response
+	// header and body.
+	trace := r.Header.Get(obs.TraceHeader)
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+
+	j, outcome, err := s.submit(grid, key, cells, trace)
 	if err != nil {
 		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -311,6 +367,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// job stands, but the cache verdict for this request.
 		st.Cache = "inflight"
 	}
+	w.Header().Set(obs.TraceHeader, st.Trace)
 	writeJSON(w, status, st)
 }
 
@@ -338,28 +395,30 @@ func specKey(grid campaign.Grid) (string, error) {
 //   - "inflight": an identical spec is already queued or running — the
 //     submission single-flights onto that job.
 //   - "miss": a fresh job is enqueued.
-func (s *Server) submit(grid campaign.Grid, key string, cells int) (*job, string, error) {
+func (s *Server) submit(grid campaign.Grid, key string, cells int, trace string) (*job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, "", errors.New("server is shutting down")
 	}
-	if data, ok := s.cache.Get(key); ok {
+	data, cached := s.cache.Get(key)
+	s.obs.lookup("job", cached)
+	if cached {
 		var payload cachedPayload
 		if err := json.Unmarshal(data, &payload); err == nil {
-			j := newJob(s.nextIDLocked(), key, grid, cells)
+			j := newJob(s.nextIDLocked(), key, grid, cells, trace)
 			j.completeFromCache(payload.Results, payload.Summary)
 			s.registerJobLocked(j)
 			return j, "hit", nil
 		}
 		// Undecodable cache entry (e.g. foreign file in the persistence
 		// dir that happened to parse as a key): fall through to simulate.
-		s.cfg.Log.Printf("cache entry %s undecodable; re-simulating", key[:12])
+		s.obs.log.Warn("cache entry undecodable; re-simulating", "key", short(key))
 	}
 	if exist, ok := s.inflight[key]; ok {
 		return exist, "inflight", nil
 	}
-	j := newJob(s.nextIDLocked(), key, grid, cells)
+	j := newJob(s.nextIDLocked(), key, grid, cells, trace)
 	select {
 	case s.queue <- j:
 	default:
@@ -428,6 +487,13 @@ func (s *Server) runJob(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	// The job span roots this job's causal chain in the flight recorder:
+	// cell spans (local execution) or shard lease/execute spans
+	// (federated) all parent back to it under the job's trace ID.
+	span := s.obs.rec.Start(j.trace, "job", j.id, 0)
+	span.Set("cells", strconv.Itoa(j.cells))
+	span.Set("key", short(j.key))
+
 	var results []campaign.Result
 	var err error
 	start := time.Now()
@@ -435,21 +501,29 @@ func (s *Server) runJob(j *job) {
 		// Coordinator mode: federate the grid across leased workers. The
 		// merged results are byte-identical to the local path below —
 		// the distributed determinism the servertest harness asserts.
+		span.Set("mode", "federated")
 		j.start(nil)
-		s.cfg.Log.Printf("job %s: federating %d cells across up to %d shards (key %s)",
-			j.id, j.cells, s.cfg.Shards, j.key[:12])
-		results, err = s.fed.distribute(s.ctx, j.id, &j.grid, j.cells, s.cfg.Shards,
+		s.obs.log.Info("job federating", "job", j.id, "trace", j.trace,
+			"cells", j.cells, "shards", s.cfg.Shards, "key", short(j.key))
+		results, err = s.fed.distribute(s.ctx, j.id, j.trace, span.ID(), &j.grid, j.cells, s.cfg.Shards,
 			func(cellsDone int, shardID string) { j.shardProgress(cellsDone, shardID) })
 		if err == nil {
 			err = campaign.FirstError(results)
 		}
 	} else {
+		span.Set("mode", "local")
 		runner := &campaign.Runner{
-			Workers:    s.cfg.SimWorkers,
-			OnProgress: func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
+			Workers:     s.cfg.SimWorkers,
+			OnProgress:  func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
+			SimDuration: s.obs.cellDuration,
+			QueueWait:   s.obs.cellQueueWait,
+			Recorder:    s.obs.rec,
+			Trace:       j.trace,
+			Parent:      span.ID(),
 		}
 		j.start(runner)
-		s.cfg.Log.Printf("job %s: running %d cells (key %s)", j.id, j.cells, j.key[:12])
+		s.obs.log.Info("job running", "job", j.id, "trace", j.trace,
+			"cells", j.cells, "key", short(j.key))
 		results, err = runner.Run(s.ctx, j.grid.Jobs())
 	}
 	wall := time.Since(start)
@@ -468,7 +542,8 @@ func (s *Server) runJob(j *job) {
 		summary := campaign.Summarize(results)
 		j.fail(err.Error(), &summary)
 		s.jobsFailed.Add(1)
-		s.cfg.Log.Printf("job %s: failed: %v", j.id, err)
+		span.End(err.Error())
+		s.obs.log.Warn("job failed", "job", j.id, "trace", j.trace, "error", err)
 		return
 	}
 	summary := campaign.Summarize(results)
@@ -479,7 +554,9 @@ func (s *Server) runJob(j *job) {
 	}
 	j.complete(results, summary)
 	s.jobsDone.Add(1)
-	s.cfg.Log.Printf("job %s: done (%d cells in %v)", j.id, j.cells, wall.Round(time.Millisecond))
+	span.End("")
+	s.obs.log.Info("job done", "job", j.id, "trace", j.trace,
+		"cells", j.cells, "wall", wall.Round(time.Millisecond))
 }
 
 // handleJob is GET /v1/jobs/{id}.
@@ -527,6 +604,11 @@ func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
+	}
+	if lease.Trace != "" {
+		// Coordinator → worker trace propagation: the header mirrors the
+		// lease body so even header-only clients can correlate.
+		w.Header().Set(obs.TraceHeader, lease.Trace)
 	}
 	writeJSON(w, http.StatusOK, lease)
 }
@@ -580,7 +662,17 @@ func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 // JobSource under the returned campaign's generated ID, campaignID. The
 // servertest cluster routes experiments through this entry point.
 func (s *Server) Distribute(ctx context.Context, campaignID string, grid *campaign.Grid, size, shards int) ([]campaign.Result, error) {
-	return s.fed.distribute(ctx, campaignID, grid, size, shards, nil)
+	return s.fed.distribute(ctx, campaignID, obs.NewTraceID(), 0, grid, size, shards, nil)
+}
+
+// InstrumentWorker attaches this server's flight recorder and per-cell
+// histograms to a worker config, so an in-process federation (servertest,
+// or a worker embedded next to its coordinator) records worker-side
+// spans and cell timings into the coordinator's instruments.
+func (s *Server) InstrumentWorker(cfg *WorkerConfig) {
+	cfg.Recorder = s.obs.rec
+	cfg.SimDuration = s.obs.cellDuration
+	cfg.QueueWait = s.obs.cellQueueWait
 }
 
 // NextCampaignID issues a fresh coordinator-unique campaign ID for
@@ -629,7 +721,9 @@ func (s *Server) experimentReport(name string) ([]byte, error) {
 		return nil, err
 	}
 	key := Key([]byte("experiment"), []byte(name), canon)
-	if data, ok := s.cache.Get(key); ok {
+	data, cached := s.cache.Get(key)
+	s.obs.lookup("experiment", cached)
+	if cached {
 		return data, nil
 	}
 

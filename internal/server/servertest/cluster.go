@@ -20,9 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -157,7 +157,7 @@ func (c *Cluster) StartWorker() string {
 	name := fmt.Sprintf("w%d", c.nextW)
 	c.mu.Unlock()
 
-	w, err := server.NewWorker(server.WorkerConfig{
+	wcfg := server.WorkerConfig{
 		Coordinator: c.HTTP.URL,
 		Name:        name,
 		SimWorkers:  c.cfg.SimWorkers,
@@ -169,8 +169,12 @@ func (c *Cluster) StartWorker() string {
 				c.cfg.OnLease(name, lease)
 			}
 		},
-		Log: log.New(io.Discard, "", 0),
-	})
+	}
+	// Workers record spans and per-cell timings into the coordinator's
+	// flight recorder and histograms, so one /debug/flight snapshot holds
+	// the whole cluster's lease → execute → cell chain.
+	c.Server.InstrumentWorker(&wcfg)
+	w, err := server.NewWorker(wcfg)
 	if err != nil {
 		c.t.Fatalf("servertest: building worker %s: %v", name, err)
 	}
@@ -330,6 +334,36 @@ func (c *Cluster) ResultsJSON(id string) ([]byte, error) {
 		return nil, fmt.Errorf("GET /v1/jobs/%s/results: %s", id, resp.Status)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// Flight fetches GET /debug/flight, optionally filtered (kind, trace,
+// limit — zero values mean no filter).
+func (c *Cluster) Flight(kind, trace string, limit int) (server.FlightReport, error) {
+	q := url.Values{}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if trace != "" {
+		q.Set("trace", trace)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	u := c.HTTP.URL + "/debug/flight"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var report server.FlightReport
+	resp, err := http.Get(u)
+	if err != nil {
+		return report, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return report, fmt.Errorf("GET /debug/flight: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&report)
+	return report, err
 }
 
 // Metrics fetches the coordinator's /metrics text.

@@ -7,16 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"paco/internal/campaign"
+	"paco/internal/obs"
 )
 
 // Worker is the client side of the shard federation: a loop that leases
@@ -64,8 +66,21 @@ type WorkerConfig struct {
 	// provably mid-shard.
 	OnLease func(ShardLease)
 
-	// Log receives operational messages (nil discards them).
-	Log *log.Logger
+	// Log receives structured operational messages (nil discards them).
+	Log *slog.Logger
+
+	// Recorder, when non-nil, collects the worker's shard-execution and
+	// per-cell spans under the trace ID each lease carries. In-process
+	// federations share the coordinator's recorder (see
+	// Server.InstrumentWorker) so one flight recorder holds the whole
+	// cluster's chain.
+	Recorder *obs.Recorder
+
+	// SimDuration and QueueWait, when non-nil, observe per-cell
+	// simulate seconds and queue-wait seconds for every cell this
+	// worker executes.
+	SimDuration *obs.Histogram
+	QueueWait   *obs.Histogram
 }
 
 // NewWorker validates the configuration and builds a worker.
@@ -87,9 +102,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.New(io.Discard, "", 0)
-	}
+	cfg.Log = obs.OrNop(cfg.Log)
 	client := cfg.HTTPClient
 	if client == nil {
 		client = &http.Client{}
@@ -115,7 +128,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		lease, ok, err := w.lease(ctx)
 		if err != nil {
-			w.cfg.Log.Printf("worker %s: lease: %v", w.cfg.Name, err)
+			w.cfg.Log.Warn("lease request failed", "worker", w.cfg.Name, "error", err)
 			if !w.sleep(ctx) {
 				return ctx.Err()
 			}
@@ -159,32 +172,44 @@ func (w *Worker) runLease(ctx context.Context, lease ShardLease) {
 	if ttl := time.Duration(lease.TTLMS) * time.Millisecond; ttl > 0 {
 		go w.renewLoop(renewCtx, lease, ttl/3)
 	}
-	results, infraErr := w.execute(ctx, lease)
+	// The execute span parents to the coordinator's lease span (ID
+	// shipped in the lease), so a shared or merged flight recorder shows
+	// job → shard.lease → shard.execute → cell as one chain.
+	span := w.cfg.Recorder.Start(lease.Trace, "shard.execute", short(lease.ShardID), lease.Span)
+	span.Set("worker", w.cfg.Name)
+	span.Set("cells", strconv.Itoa(lease.Hi-lease.Lo))
+	results, infraErr := w.execute(ctx, lease, span.ID())
 	if ctx.Err() != nil {
-		// Killed mid-shard: abandon silently; the lease will expire.
+		// Killed mid-shard: abandon unposted; the lease will expire.
+		span.End("abandoned: " + ctx.Err().Error())
 		return
 	}
 	post := ShardResultPost{LeaseID: lease.LeaseID, Worker: w.cfg.Name, Results: results}
 	if infraErr != nil {
 		post = ShardResultPost{LeaseID: lease.LeaseID, Worker: w.cfg.Name, Error: infraErr.Error()}
-		w.cfg.Log.Printf("worker %s: shard %s: %v", w.cfg.Name, short(lease.ShardID), infraErr)
+		w.cfg.Log.Warn("shard infrastructure failure", "worker", w.cfg.Name,
+			"shard", short(lease.ShardID), "trace", lease.Trace, "error", infraErr)
 	}
-	if err := w.postResult(ctx, lease.ShardID, post); err != nil {
+	span.End(obs.ErrString(infraErr))
+	if err := w.postResult(ctx, lease, post); err != nil {
 		// Dropped POST: the coordinator's lease expiry re-runs the shard;
 		// re-running is free of harm by determinism.
-		w.cfg.Log.Printf("worker %s: posting shard %s: %v", w.cfg.Name, short(lease.ShardID), err)
+		w.cfg.Log.Warn("posting shard result failed", "worker", w.cfg.Name,
+			"shard", short(lease.ShardID), "trace", lease.Trace, "error", err)
 		return
 	}
 	if infraErr == nil {
 		w.shardsDone.Add(1)
 		w.cellsDone.Add(uint64(len(results)))
-		w.cfg.Log.Printf("worker %s: shard %s done (%d cells)", w.cfg.Name, short(lease.ShardID), len(results))
+		w.cfg.Log.Info("shard done", "worker", w.cfg.Name,
+			"shard", short(lease.ShardID), "trace", lease.Trace, "cells", len(results))
 	}
 }
 
 // execute materializes the lease's job slice and runs it, re-indexing
-// results into the campaign's global cell space.
-func (w *Worker) execute(ctx context.Context, lease ShardLease) ([]campaign.Result, error) {
+// results into the campaign's global cell space. parent is the worker's
+// execute span, which the campaign's per-cell spans parent to.
+func (w *Worker) execute(ctx context.Context, lease ShardLease, parent uint64) ([]campaign.Result, error) {
 	var jobs []campaign.Job
 	switch {
 	case lease.Grid != nil:
@@ -202,7 +227,15 @@ func (w *Worker) execute(ctx context.Context, lease ShardLease) ([]campaign.Resu
 	}
 	// Cell failures ride in the results; the campaign-level first-failure
 	// error is recomputed by the coordinator after the merge.
-	results, _ := campaign.Run(ctx, w.cfg.SimWorkers, jobs[lease.Lo:lease.Hi])
+	runner := &campaign.Runner{
+		Workers:     w.cfg.SimWorkers,
+		SimDuration: w.cfg.SimDuration,
+		QueueWait:   w.cfg.QueueWait,
+		Recorder:    w.cfg.Recorder,
+		Trace:       lease.Trace,
+		Parent:      parent,
+	}
+	results, _ := runner.Run(ctx, jobs[lease.Lo:lease.Hi])
 	for i := range results {
 		results[i].Index = lease.Lo + i
 	}
@@ -232,10 +265,14 @@ func (w *Worker) renewLoop(ctx context.Context, lease ShardLease, every time.Dur
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if lease.Trace != "" {
+			req.Header.Set(obs.TraceHeader, lease.Trace)
+		}
 		resp, err := w.client.Do(req)
 		if err != nil {
 			if ctx.Err() == nil {
-				w.cfg.Log.Printf("worker %s: renewing shard %s: %v", w.cfg.Name, short(lease.ShardID), err)
+				w.cfg.Log.Warn("renewing shard failed", "worker", w.cfg.Name,
+					"shard", short(lease.ShardID), "trace", lease.Trace, "error", err)
 			}
 			continue
 		}
@@ -266,6 +303,12 @@ func (w *Worker) lease(ctx context.Context) (ShardLease, bool, error) {
 		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
 			return ShardLease{}, false, fmt.Errorf("decoding lease: %w", err)
 		}
+		if h := resp.Header.Get(obs.TraceHeader); h != "" {
+			// The response header is the authoritative trace: it travels
+			// even when a proxy rewrites or an older coordinator omits the
+			// body field.
+			lease.Trace = h
+		}
 		return lease, true, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -273,17 +316,20 @@ func (w *Worker) lease(ctx context.Context) (ShardLease, bool, error) {
 	}
 }
 
-func (w *Worker) postResult(ctx context.Context, shardID string, post ShardResultPost) error {
+func (w *Worker) postResult(ctx context.Context, lease ShardLease, post ShardResultPost) error {
 	body, err := json.Marshal(post)
 	if err != nil {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		fmt.Sprintf("%s/v1/shards/%s/result", w.cfg.Coordinator, url.PathEscape(shardID)), bytes.NewReader(body))
+		fmt.Sprintf("%s/v1/shards/%s/result", w.cfg.Coordinator, url.PathEscape(lease.ShardID)), bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if lease.Trace != "" {
+		req.Header.Set(obs.TraceHeader, lease.Trace)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err
