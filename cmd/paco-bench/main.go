@@ -1,6 +1,6 @@
 // Command paco-bench measures simulator kernel throughput — simulated
 // kcycles per wall second, allocations per cycle, and the per-stage cost
-// breakdown — and writes the paco-bench/v1 JSON report that seeds the
+// breakdown — and writes the paco-bench/v2 JSON report that seeds the
 // repository's bench trajectory (BENCH_kernel.json).
 //
 // Usage:
@@ -12,8 +12,11 @@
 //	# measure the default configurations and print the report
 //	paco-bench
 //
+//	# add batched lockstep rows and the lane-scaling geomean
+//	paco-bench -batch 1,4,8,16
+//
 //	# refresh the committed baseline, comparing against the previous one
-//	paco-bench -baseline BENCH_kernel.json -out BENCH_kernel.json
+//	paco-bench -batch 1,4,8,16 -baseline BENCH_kernel.json -out BENCH_kernel.json
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"paco/internal/perf"
@@ -40,6 +44,7 @@ func run() error {
 	warmup := flag.Uint64("warmup", 0, "warmup cycles per configuration (0 = default)")
 	cycles := flag.Uint64("cycles", 0, "measured cycles per configuration (0 = default)")
 	stageCycles := flag.Uint64("stagecycles", 0, "instrumented cycles for the stage breakdown (0 = default)")
+	batch := flag.String("batch", "", "comma-separated batched lockstep widths to measure (include 1 for the scaling baseline)")
 	baseline := flag.String("baseline", "", "prior report to compare against (its own baseline is dropped)")
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to a file")
@@ -65,6 +70,15 @@ func run() error {
 	}
 
 	opts := perf.Options{WarmupCycles: *warmup, MeasureCycles: *cycles, StageCycles: *stageCycles}
+	if *batch != "" {
+		for _, part := range strings.Split(*batch, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k <= 0 {
+				return fmt.Errorf("invalid -batch width %q", part)
+			}
+			opts.BatchKs = append(opts.BatchKs, k)
+		}
+	}
 	var rep *perf.Report
 	err := perf.WithProfiles(*cpuprofile, "", func() error {
 		var merr error
@@ -107,6 +121,9 @@ func run() error {
 	}
 	if rep.SpeedupKCycles != 0 {
 		fmt.Fprintf(os.Stderr, "[speedup vs baseline: %.2fx kcycles/s]\n", rep.SpeedupKCycles)
+	}
+	if rep.SpeedupBatch != 0 {
+		fmt.Fprintf(os.Stderr, "[batched lane scaling: %.2fx geomean vs batch=1]\n", rep.SpeedupBatch)
 	}
 	return nil
 }

@@ -78,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	gateCount := fs.Int("gatecount", 3, "gate-count used with -thresholds")
 	seed := fs.Uint64("seed", 0, "workload seed override (0 = per-benchmark default)")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
+	batchK := fs.Int("batch", 8, "batched lockstep width: cells sharing a stream run up to K per batch (1 = unbatched; results are byte-identical either way)")
 	format := fs.String("format", "json", "output format: json or csv")
 	out := fs.String("out", "", "write results to a file instead of stdout")
 	quiet := fs.Bool("quiet", false, "suppress progress on stderr")
@@ -181,7 +182,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 
-	runner := campaign.Runner{Workers: *jobs}
+	if *batchK < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *batchK)
+	}
+	runner := campaign.Runner{Workers: *jobs, BatchK: *batchK}
 	if !*quiet {
 		runner.OnProgress = func(done, total int, r *campaign.Result) {
 			status := "ok"

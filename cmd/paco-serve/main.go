@@ -75,6 +75,7 @@ func run() error {
 	addr := flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
 	jobWorkers := flag.Int("jobworkers", 2, "campaigns executing concurrently")
 	simWorkers := flag.Int("j", 0, "campaign worker pool per job (0 = GOMAXPROCS)")
+	batchK := flag.Int("batch", 0, "batched lockstep width for campaign cells (0 = default 8, 1 = unbatched; results are byte-identical either way)")
 	queueSize := flag.Int("queue", 64, "bounded job queue size")
 	cacheMB := flag.Int64("cache-mb", 64, "content-addressed cache budget in MiB")
 	cacheDir := flag.String("cache-dir", "", "persist cache entries to this directory")
@@ -106,6 +107,7 @@ func run() error {
 			Coordinator: *coordinator,
 			Name:        *workerName,
 			SimWorkers:  *simWorkers,
+			BatchK:      *batchK,
 			Poll:        *poll,
 			Log:         workerLog(logger, *quiet),
 		}, logger)
@@ -114,6 +116,7 @@ func run() error {
 	cfg := server.Config{
 		JobWorkers:  *jobWorkers,
 		SimWorkers:  *simWorkers,
+		BatchK:      *batchK,
 		QueueSize:   *queueSize,
 		CacheBytes:  *cacheMB << 20,
 		CacheDir:    *cacheDir,

@@ -101,8 +101,10 @@ type Hooks struct {
 	Collect func(res *Result, c *cpu.Core, tid int)
 }
 
-// run executes the standard single-thread simulation for one job.
-func run(job *Job) (*Result, error) {
+// resolveSpec materializes the job's effective workload: the named
+// benchmark or a private copy of its spec, with the seed override
+// applied. Runs with equal resolved specs produce identical streams.
+func resolveSpec(job *Job) (*workload.Spec, error) {
 	spec := job.Spec
 	if spec == nil {
 		s, err := workload.NewBenchmark(job.Benchmark)
@@ -117,6 +119,15 @@ func run(job *Job) (*Result, error) {
 	if job.Seed != 0 {
 		spec.Seed = job.Seed
 	}
+	return spec, nil
+}
+
+// run executes the standard single-thread simulation for one job.
+func run(job *Job) (*Result, error) {
+	spec, err := resolveSpec(job)
+	if err != nil {
+		return nil, err
+	}
 	machine := cpu.DefaultConfig()
 	if job.Machine != nil {
 		machine = *job.Machine
@@ -129,6 +140,13 @@ func run(job *Job) (*Result, error) {
 	if job.Setup != nil {
 		hooks = job.Setup()
 	}
+	return finishRun(c, spec, job, hooks)
+}
+
+// finishRun is the back half of run — attach the thread, warm up,
+// measure, collect — shared with the batched path's inline-singleton
+// fallback (jobs whose hooks need a private walker or core).
+func finishRun(c *cpu.Core, spec *workload.Spec, job *Job, hooks Hooks) (*Result, error) {
 	tid, err := c.AddThread(spec, hooks.Estimators)
 	if err != nil {
 		return nil, err
@@ -144,17 +162,30 @@ func run(job *Job) (*Result, error) {
 	// PaCo's log circuit would have run thousands of times; force one
 	// logarithmization at the boundary so measurement never starts from
 	// the cold-start profile.
-	for _, e := range hooks.Estimators {
-		if p, ok := e.(*core.PaCo); ok {
-			p.Refresh()
-		}
-	}
+	refreshPaCos(hooks.Estimators)
 	c.ResetStats()
 	if hooks.Probe != nil {
 		c.SetProbe(hooks.Probe)
 	}
 	c.Run(job.Instructions, 0)
+	return collectResult(c, spec, tid, hooks), nil
+}
 
+// refreshPaCos forces the warmup-boundary logarithmization on every
+// PaCo estimator (see finishRun).
+func refreshPaCos(ests []core.Estimator) {
+	for _, e := range ests {
+		if p, ok := e.(*core.PaCo); ok {
+			p.Refresh()
+		}
+	}
+}
+
+// collectResult assembles the measured window's Result and runs the
+// Collect hook. On the batched path c may be a core shared by several
+// passive cells; Collect hooks that inspect the core (rather than
+// captured per-cell state) see the shared core.
+func collectResult(c *cpu.Core, spec *workload.Spec, tid int, hooks Hooks) *Result {
 	res := &Result{
 		Benchmark: spec.Name,
 		Seed:      spec.Seed,
@@ -165,5 +196,5 @@ func run(job *Job) (*Result, error) {
 	if hooks.Collect != nil {
 		hooks.Collect(res, c, tid)
 	}
-	return res, nil
+	return res
 }

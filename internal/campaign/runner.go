@@ -18,6 +18,13 @@ type Runner struct {
 	// Workers bounds concurrent jobs; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
 
+	// BatchK enables the batched lockstep kernel: cells sharing one
+	// instruction stream (equal StreamKey) execute together, up to
+	// BatchK per batch, amortizing workload generation across
+	// configurations. Results are byte-identical to the unbatched path
+	// at any K. <= 1 runs every cell on the single-cell path.
+	BatchK int
+
 	// OnProgress, when non-nil, is called after every job finishes (or is
 	// skipped on cancellation) with the number of settled jobs, the
 	// campaign size, and the job's result. Calls are serialized; the
@@ -36,6 +43,14 @@ type Runner struct {
 	Recorder    *obs.Recorder
 	Trace       string
 	Parent      uint64
+
+	// Batch instrumentation (nil-safe like the hooks above). BatchSize
+	// observes every execution unit's cell count; BatchedCells and
+	// SingletonCells count cells by which path executed them. A batched
+	// unit records one "batch" span with per-cell "cell" spans under it.
+	BatchSize      *obs.Histogram
+	BatchedCells   *obs.Counter
+	SingletonCells *obs.Counter
 
 	// Live counters behind Snapshot. queued is jobs not yet picked up,
 	// running is jobs currently executing, done is settled jobs
@@ -76,16 +91,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
+	units := PlanBatches(jobs, r.BatchK)
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 
 	results := make([]Result, len(jobs))
-	started := make([]bool, len(jobs))
+	started := make([]bool, len(units))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -107,34 +123,20 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
-				r.queued.Add(-1)
-				r.running.Add(1)
-				r.QueueWait.Observe(time.Since(runStart).Seconds())
-				sp := r.Recorder.Start(r.Trace, "cell", jobs[i].ID, r.Parent)
-				cellStart := time.Now()
-				if ctx.Err() != nil {
-					results[i] = skipped(&jobs[i], i, ctx)
-				} else {
-					results[i] = execute(ctx, &jobs[i], i)
-				}
-				r.SimDuration.Observe(time.Since(cellStart).Seconds())
-				sp.End(results[i].Err)
-				r.running.Add(-1)
-				r.done.Add(1)
-				progress(&results[i])
+			for ui := range idxCh {
+				r.runUnit(ctx, jobs, units[ui], results, runStart, progress)
 			}
 		}()
 	}
 
-	// Feed job indices until the campaign is exhausted or ctx is
-	// cancelled; the main goroutine feeds, so it knows exactly which jobs
-	// were handed out.
+	// Feed unit indices until the campaign is exhausted or ctx is
+	// cancelled; the main goroutine feeds, so it knows exactly which
+	// units were handed out.
 feed:
-	for i := range jobs {
+	for ui := range units {
 		select {
-		case idxCh <- i:
-			started[i] = true
+		case idxCh <- ui:
+			started[ui] = true
 		case <-ctx.Done():
 			break feed
 		}
@@ -142,12 +144,14 @@ feed:
 	close(idxCh)
 	wg.Wait()
 
-	for i := range jobs {
-		if !started[i] {
-			r.queued.Add(-1)
-			r.done.Add(1)
-			results[i] = skipped(&jobs[i], i, ctx)
-			progress(&results[i])
+	for ui := range units {
+		if !started[ui] {
+			for _, i := range units[ui].Cells {
+				r.queued.Add(-1)
+				r.done.Add(1)
+				results[i] = skipped(&jobs[i], i, ctx)
+				progress(&results[i])
+			}
 		}
 	}
 
@@ -155,6 +159,79 @@ feed:
 		return results, err
 	}
 	return results, FirstError(results)
+}
+
+// runUnit executes one planned unit on a worker goroutine: the original
+// single-cell path for singleton units, the shared-stream batch for
+// multi-cell units.
+func (r *Runner) runUnit(ctx context.Context, jobs []Job, u BatchUnit, results []Result, runStart time.Time, progress func(*Result)) {
+	k := len(u.Cells)
+	r.queued.Add(-int64(k))
+	r.running.Add(int64(k))
+	wait := time.Since(runStart).Seconds()
+	for range u.Cells {
+		r.QueueWait.Observe(wait)
+	}
+	r.BatchSize.Observe(float64(k))
+
+	if k == 1 {
+		i := u.Cells[0]
+		r.SingletonCells.Inc()
+		sp := r.Recorder.Start(r.Trace, "cell", jobs[i].ID, r.Parent)
+		cellStart := time.Now()
+		if ctx.Err() != nil {
+			results[i] = skipped(&jobs[i], i, ctx)
+		} else {
+			results[i] = execute(ctx, &jobs[i], i)
+		}
+		r.SimDuration.Observe(time.Since(cellStart).Seconds())
+		sp.End(results[i].Err)
+		r.running.Add(-1)
+		r.done.Add(1)
+		progress(&results[i])
+		return
+	}
+
+	r.BatchedCells.Add(uint64(k))
+	short := u.Key
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	sp := r.Recorder.Start(r.Trace, "batch", fmt.Sprintf("%s*%d", short, k), r.Parent)
+	cellSpans := make([]obs.Span, k)
+	for j, i := range u.Cells {
+		cellSpans[j] = r.Recorder.Start(r.Trace, "cell", jobs[i].ID, sp.ID())
+	}
+	batchStart := time.Now()
+	if ctx.Err() != nil {
+		for _, i := range u.Cells {
+			results[i] = skipped(&jobs[i], i, ctx)
+		}
+	} else {
+		for j, res := range executeUnit(jobs, u.Cells) {
+			results[u.Cells[j]] = res
+		}
+	}
+	// One batch of K cells is one simulate pass; attribute the wall time
+	// evenly so per-cell duration reflects the amortized cost.
+	per := time.Since(batchStart).Seconds() / float64(k)
+	for j, i := range u.Cells {
+		r.SimDuration.Observe(per)
+		cellSpans[j].End(results[i].Err)
+	}
+	var unitErr string
+	for _, i := range u.Cells {
+		if results[i].Err != "" {
+			unitErr = results[i].Err
+			break
+		}
+	}
+	sp.End(unitErr)
+	r.running.Add(-int64(k))
+	r.done.Add(int64(k))
+	for _, i := range u.Cells {
+		progress(&results[i])
+	}
 }
 
 // execute runs one job with panic recovery.

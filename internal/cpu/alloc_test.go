@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"paco/internal/core"
+	"paco/internal/gating"
 	"paco/internal/workload"
 )
 
@@ -75,5 +76,47 @@ func TestAddThreadEstimatorLimit(t *testing.T) {
 	// Exactly MaxEstimators must still be accepted.
 	if _, err := c.AddThread(spec, ests[:MaxEstimators]); err != nil {
 		t.Fatalf("AddThread rejected %d estimators: %v", MaxEstimators, err)
+	}
+}
+
+// TestBatchRunZeroAllocs pins the batched lockstep path: once the tape
+// ring and every lane's structures have grown to steady state, advancing
+// the batch allocates nothing — per lane, per cycle.
+func TestBatchRunZeroAllocs(t *testing.T) {
+	spec, err := workload.NewBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared passive core plus a gated core — both batched lane kinds.
+	shared, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Attach(shared, []core.Estimator{
+		core.NewPaCo(core.PaCoConfig{RefreshPeriod: 100_000}),
+		core.NewPaCo(core.PaCoConfig{RefreshPeriod: 200_000}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gated, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gating.NewProbGate(0.3, 200_000)
+	if _, err := b.Attach(gated, []core.Estimator{g.PaCo()}); err != nil {
+		t.Fatal(err)
+	}
+	gated.SetGate(g.ShouldGate)
+
+	b.Run(100_000) // past ring, wheel, ready-queue, and arena growth
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Run(1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Batch.Run allocates %.2f times per 1000-instruction quantum in steady state, want 0", allocs)
 	}
 }

@@ -57,6 +57,7 @@ type robEntry struct {
 type thread struct {
 	id     int
 	walker *workload.Walker
+	cursor *workload.Cursor // non-nil: goodpath comes from a shared tape
 	wrong  *workload.WrongPath
 	ghr    *branch.History
 	ras    *branch.RAS
@@ -150,6 +151,27 @@ func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error
 	if err != nil {
 		return 0, err
 	}
+	return c.attachThread(w, nil, ests), nil
+}
+
+// AddThreadCursor attaches a workload replayed from a shared tape cursor
+// instead of a private walker — the batched lockstep path (Batch). The
+// thread's wrong-path generator is private (badpath content is its own
+// seeded stream and reads only the walker's immutable spec), so two
+// cursor-fed cores evolve exactly as two walker-fed cores would.
+func (c *Core) AddThreadCursor(cur *workload.Cursor, ests []core.Estimator) (int, error) {
+	if len(ests) > MaxEstimators {
+		return 0, fmt.Errorf("cpu: %d estimators attached to thread %d, at most %d supported (robEntry.contribs is fixed-size)",
+			len(ests), len(c.threads), MaxEstimators)
+	}
+	return c.attachThread(cur.Walker(), cur, ests), nil
+}
+
+// attachThread builds the hardware context shared by AddThread and
+// AddThreadCursor. The walker is retained even on the cursor path for
+// diagnostics (Walker) and the wrong-path generator; only
+// nextInstruction consults the cursor.
+func (c *Core) attachThread(w *workload.Walker, cur *workload.Cursor, ests []core.Estimator) int {
 	// The ROB backing array is rounded up to a power of two so entry()
 	// maps seq to slot with a mask instead of a division (a measured
 	// kernel hotspot). Capacity is still bounded by cfg.ROBSize via
@@ -161,6 +183,7 @@ func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error
 	t := &thread{
 		id:             len(c.threads),
 		walker:         w,
+		cursor:         cur,
 		ghr:            branch.NewHistory(8),
 		ras:            branch.NewRAS(c.cfg.RASDepth),
 		ests:           ests,
@@ -171,7 +194,7 @@ func (c *Core) AddThread(spec *workload.Spec, ests []core.Estimator) (int, error
 	}
 	t.wrong = workload.NewWrongPath(w)
 	c.threads = append(c.threads, t)
-	return t.id, nil
+	return t.id
 }
 
 // SetGate installs a fetch gating predicate, consulted each cycle before
@@ -218,21 +241,9 @@ func (c *Core) Run(goodInstrs uint64, maxCycles uint64) uint64 {
 	if len(c.threads) == 0 {
 		panic("cpu: Run with no threads")
 	}
-	for _, t := range c.threads {
-		t.quota = t.stats.RetiredGood + goodInstrs
-	}
+	c.prepareRun(goodInstrs)
 	start := c.cycle
-	for {
-		doneAll := true
-		for _, t := range c.threads {
-			if t.stats.RetiredGood < t.quota {
-				doneAll = false
-				break
-			}
-		}
-		if doneAll {
-			break
-		}
+	for !c.runDone() {
 		if maxCycles != 0 && c.cycle-start >= maxCycles {
 			break
 		}
@@ -241,13 +252,39 @@ func (c *Core) Run(goodInstrs uint64, maxCycles uint64) uint64 {
 	return c.cycle - start
 }
 
+// prepareRun arms every thread's goodpath retirement quota exactly as
+// Run does; Batch uses it to advance several cores under one scheduler
+// with per-core Run semantics.
+func (c *Core) prepareRun(goodInstrs uint64) {
+	for _, t := range c.threads {
+		t.quota = t.stats.RetiredGood + goodInstrs
+	}
+}
+
+// unboundQuota lifts all retirement quotas so cycle-driven stepping
+// (RunCycles, instrumented passes) fetches freely.
+func (c *Core) unboundQuota() {
+	for _, t := range c.threads {
+		t.quota = ^uint64(0)
+	}
+}
+
+// runDone reports whether every thread has met its retirement quota —
+// Run's termination condition.
+func (c *Core) runDone() bool {
+	for _, t := range c.threads {
+		if t.stats.RetiredGood < t.quota {
+			return false
+		}
+	}
+	return true
+}
+
 // RunCycles simulates exactly n cycles (SMT throughput experiments measure
 // fixed time slices rather than fixed instruction counts). Threads fetch
 // freely — quotas are ignored.
 func (c *Core) RunCycles(n uint64) {
-	for _, t := range c.threads {
-		t.quota = ^uint64(0)
-	}
+	c.unboundQuota()
 	for i := uint64(0); i < n; i++ {
 		c.Step()
 	}

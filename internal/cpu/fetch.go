@@ -57,9 +57,12 @@ func (c *Core) nextInstruction(t *thread) (workload.Instruction, bool) {
 		return ins, true
 	}
 	badpath := !t.onGoodpath
-	if badpath {
+	switch {
+	case badpath:
 		ins = t.wrong.Next()
-	} else {
+	case t.cursor != nil:
+		ins = t.cursor.Next() // batched: replay the shared tape
+	default:
 		ins = t.walker.Next()
 	}
 	const blockShift = 7 // 128-byte I-cache lines (Table 6)

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
+	"paco/internal/campaign"
 	"paco/internal/scenario"
 	"paco/internal/smt"
 )
@@ -359,5 +361,38 @@ func TestReportsRender(t *testing.T) {
 		if buf.Len() == 0 {
 			t.Fatalf("%s produced no output", name)
 		}
+	}
+}
+
+// TestBatchedExperimentsByteIdentical renders whole paper experiments —
+// every campaign fig2 and the robustness study submit — through a
+// batched-lockstep campaign runner and requires the reports to be
+// byte-identical to the default unbatched path. This is the
+// experiment-level face of the batching guarantee: batch width, like
+// worker count, must never change result bytes.
+func TestBatchedExperimentsByteIdentical(t *testing.T) {
+	for _, name := range []string{"fig2", "robustness"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := Quick()
+			cfg.Workers = 2
+			var plain bytes.Buffer
+			if err := Run(name, cfg, &plain); err != nil {
+				t.Fatalf("unbatched %s: %v", name, err)
+			}
+
+			bcfg := cfg
+			bcfg.Execute = func(ctx context.Context, workers int, jobs []campaign.Job) ([]campaign.Result, error) {
+				r := campaign.Runner{Workers: workers, BatchK: 8}
+				return r.Run(ctx, jobs)
+			}
+			var batched bytes.Buffer
+			if err := Run(name, bcfg, &batched); err != nil {
+				t.Fatalf("batched %s: %v", name, err)
+			}
+			if !bytes.Equal(plain.Bytes(), batched.Bytes()) {
+				t.Fatalf("%s report differs between unbatched and batched execution\nunbatched:\n%s\nbatched:\n%s",
+					name, plain.String(), batched.String())
+			}
+		})
 	}
 }

@@ -13,15 +13,22 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"strings"
 	"time"
 
 	"paco/internal/core"
 	"paco/internal/cpu"
+	"paco/internal/gating"
 	"paco/internal/workload"
 )
 
-// Schema identifies the report format.
-const Schema = "paco-bench/v1"
+// Schema identifies the report format. v2 added the batched lockstep
+// rows (batch_k, speedup_batch) and the honest gomaxprocs field; v1
+// reports remain readable as baselines.
+const (
+	Schema   = "paco-bench/v2"
+	schemaV1 = "paco-bench/v1"
+)
 
 // Options configures one kernel measurement.
 type Options struct {
@@ -38,6 +45,10 @@ type Options struct {
 	StageCycles uint64
 	// SMT attaches a second thread (twolf) and uses the SMT machine.
 	SMT bool
+	// BatchKs, when non-empty, adds one batched lockstep row per
+	// benchmark per width (MeasureBatchKernel). Include 1 to record the
+	// singleton-batch baseline the speedup geomean divides by.
+	BatchKs []int
 }
 
 func (o *Options) defaults() {
@@ -81,16 +92,26 @@ type KernelResult struct {
 	// Stages is each pipeline stage's fraction of kernel time, from a
 	// separate instrumented run.
 	Stages map[string]float64 `json:"stages,omitempty"`
+	// BatchK is the batched lockstep width for rows measured by
+	// MeasureBatchKernel (lanes sharing one instruction stream); 0 for
+	// ordinary single-core rows. For batched rows Cycles and Instructions
+	// sum over all lanes, so KCyclesPerSec is aggregate throughput.
+	BatchK int `json:"batch_k,omitempty"`
 }
 
 // Report is the full bench artifact.
 type Report struct {
-	Schema    string         `json:"schema"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Results   []KernelResult `json:"results"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count; GOMAXPROCS is the
+	// scheduler parallelism in effect. Neither implies the measurement
+	// used more than one core: every row here is a single-goroutine
+	// kernel measurement (see EXPERIMENTS.md, bench methodology).
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs,omitempty"`
+	Results    []KernelResult `json:"results"`
 	// Baseline, when present, is the report this run is compared
 	// against (typically the committed pre-refactor numbers).
 	Baseline *Report `json:"baseline,omitempty"`
@@ -98,6 +119,11 @@ type Report struct {
 	// over Baseline.Results for configurations present in both. Zero
 	// when no baseline is attached.
 	SpeedupKCycles float64 `json:"speedup_kcycles,omitempty"`
+	// SpeedupBatch is the geometric-mean aggregate-throughput ratio of
+	// batched rows (BatchK > 1) over their same-benchmark BatchK = 1 row
+	// — the lane-scaling headline. Zero when the report has no batched
+	// rows or no singleton-batch baseline.
+	SpeedupBatch float64 `json:"speedup_batch,omitempty"`
 }
 
 // buildCore assembles the measured configuration: the benchmark workload
@@ -184,18 +210,157 @@ func MeasureKernel(bench string, opts Options) (KernelResult, error) {
 	return res, nil
 }
 
+// batchRefreshes is the PaCo refresh-period axis the batched kernel
+// measurement sweeps — the same axis the paper's robustness campaigns
+// sweep, so the measured batch shape matches real sweep shapes.
+var batchRefreshes = [...]uint64{50_000, 100_000, 200_000, 400_000}
+
+// buildBatch assembles a sweep-shaped k-lane batch over one benchmark
+// stream: lanes cycle through the refresh axis; odd lanes are
+// probability-gated (own core, gate feedback on), even lanes are
+// passive PaCo observers merged onto shared cores up to
+// cpu.MaxEstimators each — the half-gated half-merged mix a real
+// campaign plan produces. Returns the batch plus the per-cell core
+// mapping (length k; merged cells point at their shared core).
+func buildBatch(bench string, k int) (*cpu.Batch, []*cpu.Core, error) {
+	spec, err := workload.NewBenchmark(bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := cpu.NewBatch(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	cells := make([]*cpu.Core, k)
+	var shared *cpu.Core
+	var sharedEsts []core.Estimator
+	flushShared := func() error {
+		if shared == nil {
+			return nil
+		}
+		if _, err := b.Attach(shared, sharedEsts); err != nil {
+			return err
+		}
+		shared, sharedEsts = nil, nil
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		refresh := batchRefreshes[i%len(batchRefreshes)]
+		if i%2 == 1 {
+			g := gating.NewProbGate(0.3, refresh)
+			c, err := cpu.New(cpu.DefaultConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := b.Attach(c, []core.Estimator{g.PaCo()}); err != nil {
+				return nil, nil, err
+			}
+			c.SetGate(g.ShouldGate)
+			cells[i] = c
+			continue
+		}
+		if shared != nil && len(sharedEsts)+1 > cpu.MaxEstimators {
+			if err := flushShared(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if shared == nil {
+			c, err := cpu.New(cpu.DefaultConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			shared = c
+		}
+		sharedEsts = append(sharedEsts, core.NewPaCo(core.PaCoConfig{RefreshPeriod: refresh}))
+		cells[i] = shared
+	}
+	if err := flushShared(); err != nil {
+		return nil, nil, err
+	}
+	return b, cells, nil
+}
+
+// MeasureBatchKernel measures the batched lockstep kernel at width k:
+// one shared instruction stream feeding a sweep-shaped lane mix (see
+// buildBatch). Quotas are instruction counts (the batch scheduler is
+// quota-driven, which keeps lane tape positions converged), reusing the
+// options' cycle budgets as goodpath-instruction budgets; Cycles and
+// Instructions sum per cell — a shared core counts once per merged
+// cell, mirroring how each campaign cell reports its core's full
+// window — so KCyclesPerSec is effective sweep throughput, the rate at
+// which the batch produces cell measurements, directly comparable to
+// the k = 1 row to read lane scaling.
+func MeasureBatchKernel(bench string, k int, opts Options) (KernelResult, error) {
+	opts.defaults()
+	if k <= 0 {
+		return KernelResult{}, fmt.Errorf("perf: batch width must be positive, got %d", k)
+	}
+	b, cells, err := buildBatch(bench, k)
+	if err != nil {
+		return KernelResult{}, err
+	}
+
+	b.Run(opts.WarmupCycles)
+	for _, c := range cells {
+		c.ResetStats() // idempotent for shared cores
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	b.Run(opts.MeasureCycles)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&msAfter)
+
+	var cycles, retired uint64
+	for _, c := range cells {
+		cycles += c.Stats().Cycles
+		retired += retiredGood(c)
+	}
+	res := KernelResult{
+		Name:           fmt.Sprintf("%s/batch=%d", bench, k),
+		BatchK:         k,
+		Cycles:         cycles,
+		Instructions:   retired,
+		WallSeconds:    wall,
+		KCyclesPerSec:  float64(cycles) / wall / 1e3,
+		KInstrsPerSec:  float64(retired) / wall / 1e3,
+		AllocsPerCycle: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(cycles),
+		BytesPerCycle:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(cycles),
+		IPC:            float64(retired) / float64(cycles),
+	}
+
+	// Instrumented stage pass: lift the quotas so cycle-driven stepping
+	// fetches freely, then step all lanes per call — st.Cycles counts
+	// core-cycles, so divide the budget by the core count.
+	b.FreeRun()
+	var st cpu.StageTimes
+	steps := opts.StageCycles / uint64(b.K())
+	if steps == 0 {
+		steps = 1
+	}
+	for i := uint64(0); i < steps; i++ {
+		b.StepTimed(&st)
+	}
+	res.Stages = st.Fractions()
+	return res, nil
+}
+
 // MeasureAll measures every named benchmark, plus an SMT configuration
-// when smt is set.
+// when smt is set, plus batched lockstep rows for each width in
+// opts.BatchKs.
 func MeasureAll(benches []string, smt bool, opts Options) (*Report, error) {
 	if len(benches) == 0 {
 		return nil, fmt.Errorf("perf: no benchmarks to measure")
 	}
 	rep := &Report{
-		Schema:    Schema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, b := range benches {
 		r, err := MeasureKernel(b, opts)
@@ -213,7 +378,49 @@ func MeasureAll(benches []string, smt bool, opts Options) (*Report, error) {
 		}
 		rep.Results = append(rep.Results, r)
 	}
+	for _, b := range benches {
+		for _, k := range opts.BatchKs {
+			r, err := MeasureBatchKernel(b, k, opts)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	rep.computeBatchSpeedup()
 	return rep, nil
+}
+
+// computeBatchSpeedup fills SpeedupBatch: the geometric-mean aggregate
+// kcycles/sec ratio of every BatchK > 1 row over the BatchK = 1 row of
+// the same benchmark.
+func (r *Report) computeBatchSpeedup() {
+	r.SpeedupBatch = 0
+	base := map[string]float64{} // benchmark name -> K=1 rate
+	for _, res := range r.Results {
+		if res.BatchK == 1 {
+			base[strings.TrimSuffix(res.Name, "/batch=1")] = res.KCyclesPerSec
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, res := range r.Results {
+		if res.BatchK <= 1 {
+			continue
+		}
+		bench, _, ok := strings.Cut(res.Name, "/batch=")
+		if !ok {
+			continue
+		}
+		b := base[bench]
+		if b <= 0 || res.KCyclesPerSec <= 0 {
+			continue
+		}
+		logSum += math.Log(res.KCyclesPerSec / b)
+		n++
+	}
+	if n > 0 {
+		r.SpeedupBatch = math.Exp(logSum / float64(n))
+	}
 }
 
 // AttachBaseline links a prior report and computes the geometric-mean
@@ -252,8 +459,8 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Schema != Schema {
-		return nil, fmt.Errorf("perf: unknown schema %q (want %q)", r.Schema, Schema)
+	if r.Schema != Schema && r.Schema != schemaV1 {
+		return nil, fmt.Errorf("perf: unknown schema %q (want %q or %q)", r.Schema, Schema, schemaV1)
 	}
 	return &r, nil
 }

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -79,5 +80,62 @@ func TestReadReportRejectsUnknownSchema(t *testing.T) {
 func TestMeasureKernelUnknownBenchmark(t *testing.T) {
 	if _, err := MeasureKernel("not-a-benchmark", quickOpts()); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestReadReportAcceptsV1(t *testing.T) {
+	raw := []byte(`{"schema":"paco-bench/v1","results":[{"name":"gzip","kcycles_per_sec":100}]}`)
+	r, err := ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if len(r.Results) != 1 || r.Results[0].BatchK != 0 {
+		t.Fatalf("v1 report misparsed: %+v", r)
+	}
+}
+
+func TestMeasureBatchKernel(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		r, err := MeasureBatchKernel("gzip", k, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("gzip/batch=%d", k); r.Name != want || r.BatchK != k {
+			t.Fatalf("unexpected header for K=%d: %+v", k, r)
+		}
+		if r.KCyclesPerSec <= 0 || r.Instructions == 0 {
+			t.Fatalf("K=%d throughput not measured: %+v", k, r)
+		}
+		// Quota-driven: every distinct core retires the full instruction
+		// budget, so aggregate retirement scales with the lane count.
+		if r.Instructions < uint64(k)*quickOpts().MeasureCycles {
+			t.Fatalf("K=%d retired %d goodpath instructions, want >= %d",
+				k, r.Instructions, uint64(k)*quickOpts().MeasureCycles)
+		}
+		var sum float64
+		for _, f := range r.Stages {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("K=%d stage fractions sum to %.6f, want 1", k, sum)
+		}
+	}
+}
+
+func TestMeasureAllBatchSpeedup(t *testing.T) {
+	opts := quickOpts()
+	opts.BatchKs = []int{1, 4}
+	rep, err := MeasureAll([]string{"gzip"}, false, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 { // plain + batch=1 + batch=4
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	if rep.SpeedupBatch <= 0 {
+		t.Fatalf("batch speedup not computed: %+v", rep)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Fatalf("GOMAXPROCS not recorded: %+v", rep)
 	}
 }

@@ -25,6 +25,12 @@ type serverObs struct {
 	cellDuration  *obs.Histogram // simulate seconds per cell
 	cellQueueWait *obs.Histogram // seconds from campaign start to cell pickup
 
+	// Batched lockstep execution shape: how many cells each planned
+	// execution unit carried, and how many cells ran on each path.
+	batchSize      *obs.Histogram
+	batchedCells   *obs.Counter
+	singletonCells *obs.Counter
+
 	// HTTP server-side request accounting, labeled by mux route pattern.
 	httpDuration *obs.HistogramVec
 	httpRequests *obs.CounterVec
@@ -115,6 +121,13 @@ func newServerObs(s *Server, logger *slog.Logger, flightSpans int) *serverObs {
 		"Simulation wall seconds per campaign cell.", obs.DurationBuckets())
 	o.cellQueueWait = r.Histogram("paco_sim_cell_queue_wait_seconds",
 		"Seconds a cell waited from campaign start to worker pickup.", obs.DurationBuckets())
+	o.batchSize = r.Histogram("paco_campaign_batch_size",
+		"Cells per planned batched-lockstep execution unit.",
+		[]float64{1, 2, 4, 8, 16, 32})
+	o.batchedCells = r.Counter("paco_campaign_cells_batched_total",
+		"Campaign cells executed on the batched lockstep path (shared instruction stream).")
+	o.singletonCells = r.Counter("paco_campaign_cells_singleton_total",
+		"Campaign cells executed on the single-cell path.")
 	o.httpRequests = r.CounterVec("paco_http_requests_total",
 		"HTTP requests served, by mux route and status code.", "route", "code")
 	o.httpDuration = r.HistogramVec("paco_http_request_duration_seconds",

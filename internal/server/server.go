@@ -44,6 +44,11 @@ type Config struct {
 	// SimWorkers is the campaign worker-pool size each job runs with
 	// (default runtime.GOMAXPROCS(0)).
 	SimWorkers int
+	// BatchK is the batched lockstep width for locally executed
+	// campaigns: cells sharing one instruction stream run up to BatchK
+	// per batch (results stay byte-identical to unbatched at any K).
+	// 0 selects the default of 8; 1 disables batching.
+	BatchK int
 	// QueueSize bounds jobs waiting to execute (default 64); submissions
 	// beyond it are rejected with 503.
 	QueueSize int
@@ -155,6 +160,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SimWorkers <= 0 {
 		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchK <= 0 {
+		cfg.BatchK = campaign.DefaultBatchK
 	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
@@ -513,13 +521,17 @@ func (s *Server) runJob(j *job) {
 	} else {
 		span.Set("mode", "local")
 		runner := &campaign.Runner{
-			Workers:     s.cfg.SimWorkers,
-			OnProgress:  func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
-			SimDuration: s.obs.cellDuration,
-			QueueWait:   s.obs.cellQueueWait,
-			Recorder:    s.obs.rec,
-			Trace:       j.trace,
-			Parent:      span.ID(),
+			Workers:        s.cfg.SimWorkers,
+			BatchK:         s.cfg.BatchK,
+			OnProgress:     func(done, total int, r *campaign.Result) { j.progress(done, total, r) },
+			SimDuration:    s.obs.cellDuration,
+			QueueWait:      s.obs.cellQueueWait,
+			Recorder:       s.obs.rec,
+			Trace:          j.trace,
+			Parent:         span.ID(),
+			BatchSize:      s.obs.batchSize,
+			BatchedCells:   s.obs.batchedCells,
+			SingletonCells: s.obs.singletonCells,
 		}
 		j.start(runner)
 		s.obs.log.Info("job running", "job", j.id, "trace", j.trace,
@@ -673,6 +685,9 @@ func (s *Server) InstrumentWorker(cfg *WorkerConfig) {
 	cfg.Recorder = s.obs.rec
 	cfg.SimDuration = s.obs.cellDuration
 	cfg.QueueWait = s.obs.cellQueueWait
+	cfg.BatchSize = s.obs.batchSize
+	cfg.BatchedCells = s.obs.batchedCells
+	cfg.SingletonCells = s.obs.singletonCells
 }
 
 // NextCampaignID issues a fresh coordinator-unique campaign ID for

@@ -42,6 +42,11 @@ type Config struct {
 	// SimWorkers is each worker's local campaign pool (default 2).
 	SimWorkers int
 
+	// BatchK is each worker's batched lockstep width (0 keeps the
+	// worker default; 1 disables batching). Batch width never changes
+	// result bytes — the federated batching test pins this.
+	BatchK int
+
 	// Shards is the default shard count per distributed campaign
 	// (default Workers).
 	Shards int
@@ -161,6 +166,7 @@ func (c *Cluster) StartWorker() string {
 		Coordinator: c.HTTP.URL,
 		Name:        name,
 		SimWorkers:  c.cfg.SimWorkers,
+		BatchK:      c.cfg.BatchK,
 		Poll:        c.cfg.Poll,
 		HTTPClient:  &http.Client{Transport: c.drop},
 		JobSource:   c.lookupJobs,

@@ -316,3 +316,40 @@ func TestFederationMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestFederatedBatchedByteIdentical composes the batched lockstep path
+// with federation and chaos: a refresh-axis sweep — heavily batchable,
+// every cell replays one benchmark stream — runs through the full
+// production path (POST /v1/jobs -> shard -> lease -> merge) on workers
+// executing at several batch widths, with one shard-result POST eaten
+// by the network so a lease must expire and re-run. The merged report
+// must still reproduce the single-process unbatched golden byte for
+// byte: batching changes scheduling, never cell content.
+func TestFederatedBatchedByteIdentical(t *testing.T) {
+	const spec = `{"benchmarks":["gzip"],"refresh":[50000,100000,200000,400000],` +
+		`"prob_gates":[0.3],"instructions":12000,"warmup":4000}`
+	want := localResultsJSON(t, spec, 2)
+	for _, batchK := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("batch%d", batchK), func(t *testing.T) {
+			c := servertest.New(t, servertest.Config{
+				Workers:         2,
+				Shards:          3,
+				BatchK:          batchK,
+				DropResultPosts: 1,
+				LeaseTTL:        150 * time.Millisecond,
+			})
+			st, err := c.RunGrid(spec, 60*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.ResultsJSON(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("batch=%d federated results differ from the unbatched single-process run:\n got: %.200s\nwant: %.200s",
+					batchK, got, want)
+			}
+		})
+	}
+}

@@ -47,6 +47,11 @@ type WorkerConfig struct {
 	// bytes — the campaign engine's core guarantee.
 	SimWorkers int
 
+	// BatchK is the batched lockstep width shards execute with (<= 0
+	// selects campaign.DefaultBatchK; 1 disables batching). Like worker
+	// count, batch width never changes result bytes.
+	BatchK int
+
 	// Poll is how long to sleep when the coordinator has no work
 	// (default 500ms).
 	Poll time.Duration
@@ -81,6 +86,13 @@ type WorkerConfig struct {
 	// worker executes.
 	SimDuration *obs.Histogram
 	QueueWait   *obs.Histogram
+
+	// BatchSize, BatchedCells, and SingletonCells, when non-nil, record
+	// the batched-execution shape of every shard this worker runs (see
+	// campaign.Runner's fields of the same names).
+	BatchSize      *obs.Histogram
+	BatchedCells   *obs.Counter
+	SingletonCells *obs.Counter
 }
 
 // NewWorker validates the configuration and builds a worker.
@@ -98,6 +110,9 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.SimWorkers <= 0 {
 		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchK <= 0 {
+		cfg.BatchK = campaign.DefaultBatchK
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
@@ -228,12 +243,16 @@ func (w *Worker) execute(ctx context.Context, lease ShardLease, parent uint64) (
 	// Cell failures ride in the results; the campaign-level first-failure
 	// error is recomputed by the coordinator after the merge.
 	runner := &campaign.Runner{
-		Workers:     w.cfg.SimWorkers,
-		SimDuration: w.cfg.SimDuration,
-		QueueWait:   w.cfg.QueueWait,
-		Recorder:    w.cfg.Recorder,
-		Trace:       lease.Trace,
-		Parent:      parent,
+		Workers:        w.cfg.SimWorkers,
+		BatchK:         w.cfg.BatchK,
+		SimDuration:    w.cfg.SimDuration,
+		QueueWait:      w.cfg.QueueWait,
+		Recorder:       w.cfg.Recorder,
+		Trace:          lease.Trace,
+		Parent:         parent,
+		BatchSize:      w.cfg.BatchSize,
+		BatchedCells:   w.cfg.BatchedCells,
+		SingletonCells: w.cfg.SingletonCells,
 	}
 	results, _ := runner.Run(ctx, jobs[lease.Lo:lease.Hi])
 	for i := range results {
