@@ -1,0 +1,108 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paco/internal/perf"
+)
+
+// runCompare is the `paco-bench compare` subcommand: the perf-regression
+// gate. It diffs a current report against a committed baseline and exits
+// nonzero — naming each regressed configuration and the pipeline stage
+// that grew — when any configuration lost more than -tolerance of its
+// kcycles/sec throughput.
+//
+// The current report comes from one of three places:
+//
+//	-new report.json   a report measured elsewhere (same host as the
+//	                   baseline, or the numbers are noise)
+//	-measure           measure a fresh (quick) report in-process
+//	-slowdown 0.5      synthesize one by scaling the baseline itself —
+//	                   how CI proves the gate actually fails
+//
+// Without any of them the baseline is compared against itself, which
+// must always pass: the self-check CI runs on every push.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("paco-bench compare", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_kernel.json", "committed baseline report")
+	newPath := fs.String("new", "", "current report to gate (from a prior paco-bench run)")
+	measure := fs.Bool("measure", false, "measure a fresh quick report in-process instead of reading -new")
+	slowdown := fs.Float64("slowdown", 0, "synthesize the current report by scaling the baseline's throughput (e.g. 0.5 = half speed; for gate self-tests)")
+	tolerance := fs.Float64("tolerance", 0.15, "tolerated per-configuration throughput loss fraction")
+	benchmarks := fs.String("benchmarks", "gzip,twolf,mcf", "-measure: benchmarks to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := 0
+	for _, on := range []bool{*newPath != "", *measure, *slowdown != 0} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return errors.New("compare: -new, -measure, and -slowdown are mutually exclusive")
+	}
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		return err
+	}
+
+	var cur *perf.Report
+	switch {
+	case *newPath != "":
+		if cur, err = readReport(*newPath); err != nil {
+			return err
+		}
+	case *measure:
+		// Quick budgets: enough cycles for a stable-ish reading without
+		// a multi-minute CI step. Same-host baselines only.
+		opts := perf.Options{WarmupCycles: 100_000, MeasureCycles: 300_000, StageCycles: 100_000}
+		seenK := map[int]bool{}
+		for _, r := range base.Results {
+			if r.BatchK > 0 && !seenK[r.BatchK] {
+				seenK[r.BatchK] = true
+				opts.BatchKs = append(opts.BatchKs, r.BatchK)
+			}
+		}
+		smt := false
+		for _, r := range base.Results {
+			if strings.HasSuffix(r.Name, "+smt") {
+				smt = true
+			}
+		}
+		if cur, err = perf.MeasureAll(strings.Split(*benchmarks, ","), smt, opts); err != nil {
+			return err
+		}
+	case *slowdown != 0:
+		cur = base.Slowdown(*slowdown)
+	default:
+		cur = base
+	}
+
+	cmp := perf.CompareReports(base, cur, *tolerance)
+	cmp.WriteText(os.Stdout)
+	if !cmp.OK() {
+		return fmt.Errorf("%d configuration(s) regressed past %.0f%% (plus %d missing)",
+			len(cmp.Regressions), *tolerance*100, len(cmp.Missing))
+	}
+	return nil
+}
+
+func readReport(path string) (*perf.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := perf.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rep.Baseline = nil
+	return rep, nil
+}

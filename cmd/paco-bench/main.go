@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paco-bench [flags]
+//	paco-bench compare -baseline BENCH_kernel.json [-new report.json | -measure] [flags]
 //
 // Examples:
 //
@@ -17,6 +18,10 @@
 //
 //	# refresh the committed baseline, comparing against the previous one
 //	paco-bench -batch 1,4,8,16 -baseline BENCH_kernel.json -out BENCH_kernel.json
+//
+//	# the CI regression gate: exit nonzero naming the regressed stage
+//	# when any configuration lost more than 15% throughput
+//	paco-bench compare -baseline BENCH_kernel.json -new fresh.json -tolerance 0.15
 package main
 
 import (
@@ -32,7 +37,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		err = runCompare(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paco-bench:", err)
 		os.Exit(1)
 	}

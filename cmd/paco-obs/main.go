@@ -6,6 +6,8 @@
 //
 //	paco-obs lint <base-url>
 //	paco-obs flight <base-url> [-kind k] [-trace t] [-min n]
+//	paco-obs watch <base-url> [-family f] [-points n] [-interval d] [-n polls]
+//	paco-obs report <base-url> -id <job> [-min-workers n] [-max-straggler x] [-max-imbalance x]
 //
 // lint fetches GET /metrics and runs the strict Prometheus exposition
 // linter over it (internal/obs.LintExposition): metric and label name
@@ -18,11 +20,23 @@
 // match — how the federation smoke asserts that a distributed sweep
 // actually left a reconstructable lease → execute → cell trail.
 //
+// watch polls GET /v1/timeseries and renders each sampled series as a
+// unicode sparkline — /debug/dash for terminals. -n bounds the poll
+// count so CI can take one deterministic look and move on.
+//
+// report fetches GET /v1/campaigns/{id}/report?exec=1, prints the
+// execution breakdown (wall vs sim vs queue-wait, per-worker
+// throughput), and asserts balance thresholds: -min-workers,
+// -max-straggler, -max-imbalance each exit 1 when violated — the
+// federation smoke's proof that work actually spread across workers.
+//
 // Examples:
 //
 //	paco-obs lint "http://$ADDR"
 //	paco-obs flight "http://$ADDR" -kind shard.lease -min 2
 //	paco-obs flight "http://$ADDR" -trace "$TRACE_ID"
+//	paco-obs watch "http://$ADDR" -family kcycles -n 1
+//	paco-obs report "http://$ADDR" -id "$JOB" -min-workers 2 -max-straggler 3.5
 package main
 
 import (
@@ -55,8 +69,12 @@ func run(args []string) error {
 		return lint(base)
 	case "flight":
 		return flight(base, rest)
+	case "watch":
+		return watch(base, rest)
+	case "report":
+		return report(base, rest)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want lint or flight)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want lint, flight, watch, or report)", cmd)
 	}
 }
 

@@ -19,9 +19,13 @@
 //	POST /v1/shards/{id}/renew    worker protocol: keep a slow shard's lease alive
 //	POST /v1/shards/{id}/result   worker protocol: post shard results
 //	GET  /v1/experiments/{name}   paper figure/table, byte-identical to the CLI
+//	GET  /v1/campaigns/{id}/report campaign analytics (deterministic; ?exec=1 adds timelines)
+//	GET  /v1/timeseries           sampled metric history (?family=&labels=&since=&points=)
 //	GET  /metrics                 Prometheus text metrics (incl. federation)
 //	GET  /healthz                 liveness + build stamp
-//	GET  /debug/flight            span flight recorder (?kind=&trace=&limit=)
+//	GET  /debug/flight            span flight recorder (?kind=&trace=&limit=&since=)
+//	GET  /debug/dash              live sparkline dashboard (static HTML, no deps)
+//	GET  /debug/loglevel          runtime log level (PUT a new one to retune)
 //	GET  /debug/pprof/            Go profiles (only with -pprof)
 //
 // Logs are structured (log/slog): text by default, JSON with -log-json,
@@ -55,11 +59,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"paco/internal/experiments"
+	"paco/internal/obs"
 	"paco/internal/server"
 	"paco/internal/version"
 )
@@ -85,6 +89,7 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON objects instead of text")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints at /debug/pprof/")
+	sampleEvery := flag.Duration("sample-interval", 0, "metric sampling period for /v1/timeseries and /debug/dash (0 = 1s, negative disables)")
 	shards := flag.Int("shards", 0, "coordinator mode: split each sweep into up to N shards for federation workers (0 = execute locally)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: re-lease a shard this long after its worker goes silent")
 	coordinator := flag.String("coordinator", "", "worker mode: lease shards from this coordinator URL instead of serving")
@@ -98,7 +103,7 @@ func run() error {
 		return nil
 	}
 
-	logger, err := buildLogger(*logLevel, *logJSON)
+	logger, levelVar, err := buildLogger(*logLevel, *logJSON)
 	if err != nil {
 		return err
 	}
@@ -114,15 +119,17 @@ func run() error {
 	}
 
 	cfg := server.Config{
-		JobWorkers:  *jobWorkers,
-		SimWorkers:  *simWorkers,
-		BatchK:      *batchK,
-		QueueSize:   *queueSize,
-		CacheBytes:  *cacheMB << 20,
-		CacheDir:    *cacheDir,
-		Shards:      *shards,
-		LeaseTTL:    *leaseTTL,
-		EnablePprof: *pprofOn,
+		JobWorkers:     *jobWorkers,
+		SimWorkers:     *simWorkers,
+		BatchK:         *batchK,
+		QueueSize:      *queueSize,
+		CacheBytes:     *cacheMB << 20,
+		CacheDir:       *cacheDir,
+		Shards:         *shards,
+		LeaseTTL:       *leaseTTL,
+		EnablePprof:    *pprofOn,
+		LogLevel:       levelVar,
+		SampleInterval: *sampleEvery,
 	}
 	if *quick {
 		q := experiments.Quick()
@@ -215,26 +222,22 @@ func runWorker(cfg server.WorkerConfig, logger *slog.Logger) error {
 }
 
 // buildLogger assembles the process logger from the -log-level and
-// -log-json flags: structured text or JSON on stderr.
-func buildLogger(level string, jsonOut bool) (*slog.Logger, error) {
-	var lvl slog.Level
-	switch strings.ToLower(level) {
-	case "debug":
-		lvl = slog.LevelDebug
-	case "info":
-		lvl = slog.LevelInfo
-	case "warn", "warning":
-		lvl = slog.LevelWarn
-	case "error":
-		lvl = slog.LevelError
-	default:
-		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+// -log-json flags: structured text or JSON on stderr. The returned
+// LevelVar is the runtime dial — handed to server.Config.LogLevel, it
+// backs GET/PUT /debug/loglevel so the floor set here is adjustable
+// without a restart.
+func buildLogger(level string, jsonOut bool) (*slog.Logger, *slog.LevelVar, error) {
+	lvl, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-log-level: %w", err)
 	}
-	opts := &slog.HandlerOptions{Level: lvl}
+	lv := new(slog.LevelVar)
+	lv.Set(lvl)
+	opts := &slog.HandlerOptions{Level: lv}
 	if jsonOut {
-		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), lv, nil
 	}
-	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), lv, nil
 }
 
 // workerLog keeps per-shard worker chatter behind -quiet while leaving

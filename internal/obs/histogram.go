@@ -184,6 +184,15 @@ func (h *Histogram) writeLabeled(w *bufio.Writer, extra []Label) {
 	writeSample(w, h.name+"_count", formatLabels(extra), float64(count))
 }
 
+// histSeries is one labeled histogram of a HistogramVec, with the vec
+// label pair and its exposition rendering cached at creation.
+type histSeries struct {
+	key      string  // label value — the sort key
+	labels   []Label // the single vec label pair, for writeLabeled
+	labelStr string  // rendered {label="value"}
+	h        *Histogram
+}
+
 // HistogramVec is a histogram family keyed by one label (e.g. HTTP
 // route), with per-value histograms created on first use and rendered
 // sorted by label value.
@@ -192,8 +201,9 @@ type HistogramVec struct {
 	label      string
 	buckets    []float64
 
-	mu sync.Mutex
-	m  map[string]*Histogram
+	mu      sync.Mutex
+	m       map[string]*histSeries
+	ordered []*histSeries // sorted by key, maintained on insert
 }
 
 // HistogramVec registers a labeled histogram family.
@@ -205,7 +215,7 @@ func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *Hi
 		buckets = DurationBuckets()
 	}
 	v := &HistogramVec{name: name, help: help, label: label,
-		buckets: append([]float64(nil), buckets...), m: make(map[string]*Histogram)}
+		buckets: append([]float64(nil), buckets...), m: make(map[string]*histSeries)}
 	r.register(v)
 	return v
 }
@@ -219,28 +229,27 @@ func (v *HistogramVec) With(value string) *Histogram {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	h := v.m[value]
-	if h == nil {
-		h = newHistogram(v.name, v.help, v.buckets)
-		v.m[value] = h
+	s := v.m[value]
+	if s == nil {
+		labels := []Label{{Key: v.label, Value: value}}
+		s = &histSeries{key: value, labels: labels, labelStr: formatLabels(labels),
+			h: newHistogram(v.name, v.help, v.buckets)}
+		v.m[value] = s
+		at := sort.Search(len(v.ordered), func(i int) bool { return v.ordered[i].key >= value })
+		v.ordered = append(v.ordered, nil)
+		copy(v.ordered[at+1:], v.ordered[at:])
+		v.ordered[at] = s
 	}
-	return h
+	return s.h
 }
 
 func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
 func (v *HistogramVec) write(w *bufio.Writer) {
 	v.mu.Lock()
-	keys := make([]string, 0, len(v.m))
-	for k := range v.m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	hs := make([]*Histogram, len(keys))
-	for i, k := range keys {
-		hs[i] = v.m[k]
-	}
+	series := make([]*histSeries, len(v.ordered))
+	copy(series, v.ordered)
 	v.mu.Unlock()
-	for i, k := range keys {
-		hs[i].writeLabeled(w, []Label{{Key: v.label, Value: k}})
+	for _, s := range series {
+		s.h.writeLabeled(w, s.labels)
 	}
 }

@@ -31,12 +31,14 @@ import (
 	"sync/atomic"
 )
 
-// family is one named metric family: HELP/TYPE metadata plus a sample
-// writer. Families render themselves so plain, labeled, callback-backed,
-// and histogram families can share one registry.
+// family is one named metric family: HELP/TYPE metadata, a sample
+// writer, and a sample visitor. Families render themselves so plain,
+// labeled, callback-backed, and histogram families can share one
+// registry.
 type family interface {
 	meta() (name, help, typ string)
 	write(w *bufio.Writer)
+	visit(v SampleVisitor)
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -307,14 +309,24 @@ func (r *Registry) Func(name, typ, help string, collect func(emit func(v float64
 	r.register(&funcFamily{name: name, help: help, typ: typ, collect: collect})
 }
 
+// counterSeries is one labeled series of a CounterVec, with its
+// exposition label string rendered once at creation so renders and
+// VisitSamples walks never rebuild it.
+type counterSeries struct {
+	key    string // values joined with \xff — the sort key
+	labels string // rendered {k="v",...}
+	c      *Counter
+}
+
 // CounterVec is a counter family with labeled series, created on first
 // use and rendered sorted by label values.
 type CounterVec struct {
 	name, help string
 	labels     []string
 
-	mu sync.Mutex
-	m  map[string]*Counter
+	mu      sync.Mutex
+	m       map[string]*counterSeries
+	ordered []*counterSeries // sorted by key, maintained on insert
 }
 
 // CounterVec registers a labeled counter family.
@@ -327,7 +339,7 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 			panic(fmt.Sprintf("obs: invalid label name %q", l))
 		}
 	}
-	v := &CounterVec{name: name, help: help, labels: labels, m: make(map[string]*Counter)}
+	v := &CounterVec{name: name, help: help, labels: labels, m: make(map[string]*counterSeries)}
 	r.register(v)
 	return v
 }
@@ -344,37 +356,27 @@ func (v *CounterVec) With(values ...string) *Counter {
 	key := strings.Join(values, "\xff")
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	c := v.m[key]
-	if c == nil {
-		c = &Counter{}
-		v.m[key] = c
+	s := v.m[key]
+	if s == nil {
+		labels := make([]Label, len(v.labels))
+		for i := range v.labels {
+			labels[i] = Label{Key: v.labels[i], Value: values[i]}
+		}
+		s = &counterSeries{key: key, labels: formatLabels(labels), c: &Counter{}}
+		v.m[key] = s
+		at := sort.Search(len(v.ordered), func(i int) bool { return v.ordered[i].key >= key })
+		v.ordered = append(v.ordered, nil)
+		copy(v.ordered[at+1:], v.ordered[at:])
+		v.ordered[at] = s
 	}
-	return c
+	return s.c
 }
 
 func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
 func (v *CounterVec) write(w *bufio.Writer) {
 	v.mu.Lock()
-	keys := make([]string, 0, len(v.m))
-	for k := range v.m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	type row struct {
-		labels string
-		val    float64
-	}
-	rows := make([]row, 0, len(keys))
-	for _, k := range keys {
-		values := strings.Split(k, "\xff")
-		labels := make([]Label, len(v.labels))
-		for i := range v.labels {
-			labels[i] = Label{Key: v.labels[i], Value: values[i]}
-		}
-		rows = append(rows, row{formatLabels(labels), float64(v.m[k].v.Load())})
-	}
-	v.mu.Unlock()
-	for _, r := range rows {
-		writeSample(w, v.name, r.labels, r.val)
+	defer v.mu.Unlock()
+	for _, s := range v.ordered {
+		writeSample(w, v.name, s.labels, float64(s.c.v.Load()))
 	}
 }

@@ -75,10 +75,11 @@ func (sr *SpanRecord) Attr(key string) string {
 
 // stripe is one lock-striped ring segment.
 type stripe struct {
-	mu   sync.Mutex
-	buf  []record
-	next int    // next write position
-	seen uint64 // spans ever written to this stripe
+	mu      sync.Mutex
+	buf     []record
+	next    int    // next write position
+	seen    uint64 // spans ever written to this stripe
+	dropped uint64 // spans overwritten before ever being read out
 }
 
 const recorderStripes = 8
@@ -184,6 +185,7 @@ func (s *Span) End(errMsg string) {
 		st.buf = append(st.buf, r)
 	} else {
 		st.buf[st.next] = r
+		st.dropped++
 	}
 	st.next = (st.next + 1) % cap(st.buf)
 	st.seen++
@@ -222,6 +224,23 @@ func (r *Recorder) Recorded() uint64 {
 	return total
 }
 
+// Dropped reports how many finished spans the ring has overwritten —
+// the obs_spans_dropped_total counter. A nonzero value means the ring
+// wrapped and /debug/flight no longer holds the full history.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	var total uint64
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		total += st.dropped
+		st.mu.Unlock()
+	}
+	return total
+}
+
 // Capacity reports how many finished spans the ring retains.
 func (r *Recorder) Capacity() int {
 	if r == nil {
@@ -240,6 +259,10 @@ type Filter struct {
 	Kind string
 	// Trace, when nonempty, keeps only spans of that trace.
 	Trace string
+	// Since, when nonzero, keeps only spans that ended strictly after
+	// it — pass the End of the last span already seen to poll the ring
+	// incrementally.
+	Since time.Time
 	// Limit, when > 0, keeps only the most recent Limit spans (after
 	// the other filters).
 	Limit int
@@ -261,6 +284,9 @@ func (r *Recorder) Snapshot(f Filter) []SpanRecord {
 				continue
 			}
 			if f.Trace != "" && rec.trace != f.Trace {
+				continue
+			}
+			if !f.Since.IsZero() && !rec.end.After(f.Since) {
 				continue
 			}
 			recs = append(recs, *rec)

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"log/slog"
+	"strings"
 	"sync/atomic"
 )
 
@@ -58,4 +59,18 @@ func OrNop(l *slog.Logger) *slog.Logger {
 		return NopLogger()
 	}
 	return l
+}
+
+// ParseLevel parses a log level name ("debug", "info", "warn"/"warning",
+// "error", any case, plus slog's "INFO+2" offset form) — the shared
+// parser behind the -log-level flag and PUT /debug/loglevel.
+func ParseLevel(s string) (slog.Level, error) {
+	if strings.EqualFold(s, "warning") {
+		s = "warn"
+	}
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+	return l, nil
 }

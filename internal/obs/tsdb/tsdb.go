@@ -1,0 +1,419 @@
+// Package tsdb is paco's in-process time-series store: a fixed-capacity
+// ring buffer of samples per metric series, fed by walking an
+// obs.Registry at a configurable interval. It answers the question the
+// point-in-time /metrics scrape cannot — how a counter, gauge, or
+// histogram quantile *evolved* over the last few minutes — and backs
+// GET /v1/timeseries, the /debug/dash sparklines, and the campaign
+// report's throughput timelines.
+//
+// Design rules, inherited from internal/obs:
+//
+//   - Sampling must be allocation-free in steady state. The store
+//     implements obs.SampleVisitor directly (no closure per pass), ring
+//     slots are preallocated, series lookups reuse the label strings
+//     obs caches per series (two-level map, no key concatenation), and
+//     histogram quantiles come from obs.Histogram.Quantile, which is
+//     itself allocation-free. Only the *first* sighting of a series
+//     allocates its ring. (Callback-backed registry families cost
+//     whatever their callbacks cost — see obs.VisitSamples.)
+//   - Capacity is fixed. Each series keeps the newest Points samples;
+//     the store refuses new series beyond MaxSeries rather than grow
+//     without bound, counting the refusals in SeriesDropped.
+//   - Queries are deterministic: series sort by (family, labels),
+//     points oldest-first, counters are returned as per-second rates
+//     between consecutive samples plus min/max/avg/rate rollups over
+//     the requested window.
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"paco/internal/obs"
+)
+
+// Point is one sample: wall-clock unix milliseconds and a value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// ring is the fixed-capacity sample buffer of one series.
+type ring struct {
+	family string
+	labels string
+	typ    string // "counter", "gauge", "histogram"
+	pts    []Point
+	next   int
+}
+
+func (rg *ring) push(t int64, v float64) {
+	if len(rg.pts) < cap(rg.pts) {
+		rg.pts = append(rg.pts, Point{T: t, V: v})
+		return
+	}
+	rg.pts[rg.next] = Point{T: t, V: v}
+	rg.next = (rg.next + 1) % cap(rg.pts)
+}
+
+// ordered appends the ring's points oldest-first to dst.
+func (rg *ring) ordered(dst []Point) []Point {
+	if len(rg.pts) < cap(rg.pts) {
+		return append(dst, rg.pts...)
+	}
+	dst = append(dst, rg.pts[rg.next:]...)
+	return append(dst, rg.pts[:rg.next]...)
+}
+
+// histEntry holds the derived quantile rings of one live histogram,
+// keyed by the *obs.Histogram pointer so the steady-state sampling path
+// never builds a lookup key.
+type histEntry struct {
+	quantiles []float64
+	rings     []*ring
+}
+
+// Config configures a Store.
+type Config struct {
+	// Registry is the metrics registry to sample. Required.
+	Registry *obs.Registry
+	// Interval is the sampling period of Start's background loop
+	// (default 1s).
+	Interval time.Duration
+	// Points is the per-series ring capacity (default 240 — four
+	// minutes of history at the default interval).
+	Points int
+	// MaxSeries bounds the total series count, quantile series
+	// included (default 2048). New series beyond it are dropped and
+	// counted in SeriesDropped.
+	MaxSeries int
+	// Quantiles are the per-histogram derived series (default 0.5 and
+	// 0.99, exposed as <family>_p50 and <family>_p99).
+	Quantiles []float64
+}
+
+// Store samples a registry into per-series rings. Create with New,
+// start the background sampler with Start (or drive it manually with
+// SampleNow), query with Query, and stop with Close.
+type Store struct {
+	reg       *obs.Registry
+	interval  time.Duration
+	points    int
+	maxSeries int
+	quantiles []float64
+
+	mu       sync.Mutex
+	sampleT  int64                       // unix millis of the pass in progress
+	families map[string]map[string]*ring // family -> labels -> ring
+	hist     map[*obs.Histogram]*histEntry
+	nseries  int
+	ndropped uint64
+	samples  uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Store over cfg.Registry. It does not sample until Start
+// or SampleNow.
+func New(cfg Config) *Store {
+	if cfg.Registry == nil {
+		panic("tsdb: Config.Registry is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Points <= 0 {
+		cfg.Points = 240
+	}
+	if cfg.MaxSeries <= 0 {
+		cfg.MaxSeries = 2048
+	}
+	if len(cfg.Quantiles) == 0 {
+		cfg.Quantiles = []float64{0.5, 0.99}
+	}
+	return &Store{
+		reg:       cfg.Registry,
+		interval:  cfg.Interval,
+		points:    cfg.Points,
+		maxSeries: cfg.MaxSeries,
+		quantiles: append([]float64(nil), cfg.Quantiles...),
+		families:  make(map[string]map[string]*ring),
+		hist:      make(map[*obs.Histogram]*histEntry),
+	}
+}
+
+// Interval returns the configured sampling period.
+func (st *Store) Interval() time.Duration { return st.interval }
+
+// SampleNow takes one sampling pass over the registry, stamping every
+// series with the same wall-clock reading. Steady-state passes over
+// push-based instruments perform zero allocations.
+func (st *Store) SampleNow() {
+	st.mu.Lock()
+	st.sampleT = time.Now().UnixMilli()
+	st.samples++
+	st.reg.VisitSamples(st)
+	st.mu.Unlock()
+}
+
+// Sample implements obs.SampleVisitor. Called with st.mu held by
+// SampleNow (via Registry.VisitSamples).
+func (st *Store) Sample(s obs.SeriesSample) {
+	rg := st.lookup(s.Family, s.Labels, s.Type)
+	if rg != nil {
+		rg.push(st.sampleT, s.Value)
+	}
+	if s.Hist == nil {
+		return
+	}
+	he := st.hist[s.Hist]
+	if he == nil {
+		he = st.newHistEntry(s.Family, s.Labels)
+		st.hist[s.Hist] = he
+	}
+	for i, q := range he.quantiles {
+		if he.rings[i] == nil {
+			continue
+		}
+		v := s.Hist.Quantile(q)
+		if math.IsNaN(v) {
+			v = 0
+		}
+		he.rings[i].push(st.sampleT, v)
+	}
+}
+
+// lookup finds or creates the ring for (family, labels). Returns nil
+// when the series budget is exhausted.
+func (st *Store) lookup(family, labels, typ string) *ring {
+	byLabels := st.families[family]
+	if byLabels == nil {
+		byLabels = make(map[string]*ring, 1)
+		st.families[family] = byLabels
+	}
+	rg := byLabels[labels]
+	if rg == nil {
+		if st.nseries >= st.maxSeries {
+			st.ndropped++
+			return nil
+		}
+		rg = &ring{family: family, labels: labels, typ: typ,
+			pts: make([]Point, 0, st.points)}
+		byLabels[labels] = rg
+		st.nseries++
+	}
+	return rg
+}
+
+// newHistEntry builds the derived quantile rings for one histogram
+// series — the only histogram-path allocation, paid once per series.
+func (st *Store) newHistEntry(family, labels string) *histEntry {
+	he := &histEntry{
+		quantiles: st.quantiles,
+		rings:     make([]*ring, len(st.quantiles)),
+	}
+	for i, q := range st.quantiles {
+		he.rings[i] = st.lookup(family+quantileSuffix(q), labels, "gauge")
+	}
+	return he
+}
+
+// quantileSuffix renders a quantile as a metric-name suffix: 0.5 →
+// "_p50", 0.99 → "_p99", 0.999 → "_p99_9".
+func quantileSuffix(q float64) string {
+	s := fmt.Sprintf("_p%g", q*100)
+	return strings.ReplaceAll(s, ".", "_")
+}
+
+// Start launches the background sampling loop at the configured
+// interval. Close stops it.
+func (st *Store) Start() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stop != nil {
+		return
+	}
+	st.stop = make(chan struct{})
+	st.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(st.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				st.SampleNow()
+			}
+		}
+	}(st.stop, st.done)
+}
+
+// Close stops the background sampler (if started) and waits for it.
+func (st *Store) Close() {
+	st.mu.Lock()
+	stop, done := st.stop, st.done
+	st.stop, st.done = nil, nil
+	st.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Stats reports the store's own health: series held, series refused,
+// and sampling passes taken.
+func (st *Store) Stats() (series int, dropped, samples uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nseries, st.ndropped, st.samples
+}
+
+// Query selects series. Zero fields match everything.
+type Query struct {
+	// Family, when nonempty, keeps only series of that exact family
+	// (derived quantile series are families too: e.g. "x_p99").
+	Family string
+	// Labels, when nonempty, keeps only series whose rendered label
+	// string equals it (e.g. `{route="/v1/jobs"}`).
+	Labels string
+	// Since, when nonzero, keeps only points at or after it.
+	Since time.Time
+	// MaxPoints, when > 0, keeps only the newest MaxPoints points per
+	// series (after Since).
+	MaxPoints int
+}
+
+// Series is one queried series with its windowed points and rollups.
+// Counter series return per-second rates between consecutive raw
+// samples (so a monotone counter plots as throughput); gauges and
+// quantiles return raw values.
+type Series struct {
+	Family string  `json:"family"`
+	Type   string  `json:"type"`
+	Labels string  `json:"labels,omitempty"`
+	Points []Point `json:"points"`
+
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Avg  float64 `json:"avg"`
+	Last float64 `json:"last"`
+	// Rate is the per-second change across the window — meaningful for
+	// counters (overall throughput) and reported for gauges too (slope).
+	Rate float64 `json:"rate"`
+}
+
+// Query returns the matching series sorted by (family, labels), each
+// with points oldest-first and rollups over the returned window.
+func (st *Store) Query(q Query) []Series {
+	st.mu.Lock()
+	var rings []*ring
+	for fam, byLabels := range st.families {
+		if q.Family != "" && fam != q.Family {
+			continue
+		}
+		for labels, rg := range byLabels {
+			if q.Labels != "" && labels != q.Labels {
+				continue
+			}
+			rings = append(rings, rg)
+		}
+	}
+	// Copy the matched points out under the lock; summarize after.
+	type matched struct {
+		rg  *ring
+		pts []Point
+	}
+	ms := make([]matched, 0, len(rings))
+	for _, rg := range rings {
+		ms = append(ms, matched{rg: rg, pts: rg.ordered(nil)})
+	}
+	st.mu.Unlock()
+
+	out := make([]Series, 0, len(ms))
+	sinceMS := int64(math.MinInt64)
+	if !q.Since.IsZero() {
+		sinceMS = q.Since.UnixMilli()
+	}
+	for _, m := range ms {
+		pts := m.pts
+		for len(pts) > 0 && pts[0].T < sinceMS {
+			pts = pts[1:]
+		}
+		s := Series{Family: m.rg.family, Type: m.rg.typ, Labels: m.rg.labels}
+		// Rate over the raw window: throughput for counters, slope for
+		// gauges — computed before any rate conversion below.
+		if len(pts) >= 2 {
+			first, last := pts[0], pts[len(pts)-1]
+			if dt := float64(last.T-first.T) / 1e3; dt > 0 {
+				s.Rate = (last.V - first.V) / dt
+			}
+		}
+		if m.rg.typ == "counter" || m.rg.typ == "histogram" {
+			pts = ratePoints(pts)
+			s.Type = "rate"
+		}
+		if q.MaxPoints > 0 && len(pts) > q.MaxPoints {
+			pts = pts[len(pts)-q.MaxPoints:]
+		}
+		s.Points = pts
+		summarize(&s)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// ratePoints converts cumulative samples to per-second rates between
+// consecutive points, stamped at the later point. Resets (value
+// decreasing, e.g. process restart) clamp to zero.
+func ratePoints(pts []Point) []Point {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Point, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dt := float64(pts[i].T-pts[i-1].T) / 1e3
+		if dt <= 0 {
+			continue
+		}
+		dv := pts[i].V - pts[i-1].V
+		if dv < 0 {
+			dv = 0
+		}
+		out = append(out, Point{T: pts[i].T, V: dv / dt})
+	}
+	return out
+}
+
+// summarize fills a Series' min/max/avg/last rollups from its points
+// (Rate is computed by Query over the raw pre-conversion window).
+func summarize(s *Series) {
+	if len(s.Points) == 0 {
+		return
+	}
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, p := range s.Points {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+		sum += p.V
+	}
+	s.Min, s.Max = min, max
+	s.Avg = sum / float64(len(s.Points))
+	s.Last = s.Points[len(s.Points)-1].V
+}

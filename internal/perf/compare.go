@@ -1,0 +1,175 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The regression gate: CompareReports diffs two bench reports and names
+// every configuration whose throughput fell by more than the tolerated
+// fraction, attributing each regression to the pipeline stage whose
+// share of kernel time grew the most. `paco-bench compare` wraps this
+// for CI: nonzero exit when any regression survives the tolerance.
+
+// Regression is one configuration whose current throughput fell below
+// baseline * (1 - tolerance).
+type Regression struct {
+	// Name is the regressed configuration (a KernelResult name, e.g.
+	// "gzip" or "gzip/batch=8").
+	Name string `json:"name"`
+	// BaselineKCycles and CurrentKCycles are the two throughput
+	// readings in kcycles/sec.
+	BaselineKCycles float64 `json:"baseline_kcycles_per_sec"`
+	CurrentKCycles  float64 `json:"current_kcycles_per_sec"`
+	// Ratio is current / baseline (< 1 - tolerance by construction).
+	Ratio float64 `json:"ratio"`
+	// Stage names the pipeline stage whose fraction of kernel time grew
+	// the most between the runs — the prime suspect — with the growth
+	// in fractional points. Empty when either run lacks a breakdown.
+	Stage       string  `json:"stage,omitempty"`
+	StageGrowth float64 `json:"stage_growth,omitempty"`
+}
+
+func (g Regression) String() string {
+	s := fmt.Sprintf("%s: %.0f -> %.0f kcycles/sec (%.2fx)",
+		g.Name, g.BaselineKCycles, g.CurrentKCycles, g.Ratio)
+	if g.Stage != "" {
+		s += fmt.Sprintf(", stage %q grew %+.1f pts", g.Stage, g.StageGrowth*100)
+	}
+	return s
+}
+
+// Comparison is the full result of diffing two reports.
+type Comparison struct {
+	// Tolerance is the fraction of throughput loss tolerated per
+	// configuration before it counts as a regression.
+	Tolerance float64 `json:"tolerance"`
+	// Compared counts configurations present in both reports.
+	Compared int `json:"compared"`
+	// Missing lists baseline configurations absent from the current
+	// report — a silent loss of coverage the gate also fails on.
+	Missing []string `json:"missing,omitempty"`
+	// Regressions are the configurations that fell past the tolerance,
+	// sorted worst-first.
+	Regressions []Regression `json:"regressions,omitempty"`
+	// SpeedupKCycles is the geomean current/baseline throughput ratio
+	// over the compared configurations.
+	SpeedupKCycles float64 `json:"speedup_kcycles"`
+}
+
+// OK reports whether the gate passes: every baseline configuration was
+// measured and none regressed past the tolerance.
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 && len(c.Missing) == 0 }
+
+// CompareReports diffs cur against base with the given tolerance
+// (0.10 tolerates a 10% throughput drop per configuration). Rows are
+// matched by Name; baseline rows missing from cur are reported in
+// Missing, and extra rows in cur are ignored (new configurations are
+// not regressions).
+func CompareReports(base, cur *Report, tolerance float64) *Comparison {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	c := &Comparison{Tolerance: tolerance}
+	curByName := make(map[string]KernelResult, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	for _, b := range base.Results {
+		r, ok := curByName[b.Name]
+		if !ok {
+			c.Missing = append(c.Missing, b.Name)
+			continue
+		}
+		if b.KCyclesPerSec <= 0 || r.KCyclesPerSec <= 0 {
+			continue
+		}
+		c.Compared++
+		ratio := r.KCyclesPerSec / b.KCyclesPerSec
+		if ratio < 1-tolerance {
+			reg := Regression{
+				Name:            b.Name,
+				BaselineKCycles: b.KCyclesPerSec,
+				CurrentKCycles:  r.KCyclesPerSec,
+				Ratio:           ratio,
+			}
+			reg.Stage, reg.StageGrowth = grownStage(b.Stages, r.Stages)
+			c.Regressions = append(c.Regressions, reg)
+		}
+	}
+	sort.Strings(c.Missing)
+	sort.Slice(c.Regressions, func(i, j int) bool {
+		if c.Regressions[i].Ratio != c.Regressions[j].Ratio {
+			return c.Regressions[i].Ratio < c.Regressions[j].Ratio
+		}
+		return c.Regressions[i].Name < c.Regressions[j].Name
+	})
+	c.SpeedupKCycles = geomeanSpeedup(base, cur)
+	return c
+}
+
+// grownStage returns the stage whose fraction grew the most from base
+// to cur (ties broken by name for determinism), or "" when either
+// breakdown is missing.
+func grownStage(base, cur map[string]float64) (string, float64) {
+	if len(base) == 0 || len(cur) == 0 {
+		return "", 0
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	best, growth := "", 0.0
+	for _, name := range names {
+		if d := cur[name] - base[name]; d > growth {
+			best, growth = name, d
+		}
+	}
+	// Identical breakdowns (e.g. a synthetic slowdown) have no suspect.
+	if growth <= 0 {
+		return "", 0
+	}
+	return best, growth
+}
+
+// geomeanSpeedup is AttachBaseline's geomean without mutating either
+// report.
+func geomeanSpeedup(base, cur *Report) float64 {
+	tmp := Report{Results: cur.Results}
+	tmp.AttachBaseline(&Report{Results: base.Results})
+	return tmp.SpeedupKCycles
+}
+
+// Slowdown returns a copy of r with every row's throughput scaled by
+// factor (0.5 halves it) — the synthetic-regression injector the CI
+// gate uses to prove `paco-bench compare` actually fails.
+func (r *Report) Slowdown(factor float64) *Report {
+	out := *r
+	out.Results = make([]KernelResult, len(r.Results))
+	copy(out.Results, r.Results)
+	for i := range out.Results {
+		out.Results[i].KCyclesPerSec *= factor
+		out.Results[i].KInstrsPerSec *= factor
+		if factor > 0 {
+			out.Results[i].WallSeconds /= factor
+		}
+	}
+	return &out
+}
+
+// WriteText renders the comparison for terminals and CI logs.
+func (c *Comparison) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "compared %d configurations, tolerance %.0f%%, geomean %.2fx\n",
+		c.Compared, c.Tolerance*100, c.SpeedupKCycles)
+	for _, m := range c.Missing {
+		fmt.Fprintf(w, "MISSING  %s: in baseline but not measured\n", m)
+	}
+	for _, g := range c.Regressions {
+		fmt.Fprintf(w, "REGRESSED %s\n", g.String())
+	}
+	if c.OK() {
+		fmt.Fprintln(w, "ok: no regressions")
+	}
+}

@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(rows ...KernelResult) *Report {
+	return &Report{Schema: Schema, Results: rows}
+}
+
+func TestCompareReportsPassesWithinTolerance(t *testing.T) {
+	base := mkReport(
+		KernelResult{Name: "gzip", KCyclesPerSec: 1000},
+		KernelResult{Name: "twolf", KCyclesPerSec: 800},
+	)
+	cur := mkReport(
+		KernelResult{Name: "gzip", KCyclesPerSec: 950}, // -5%, inside 10%
+		KernelResult{Name: "twolf", KCyclesPerSec: 900},
+	)
+	c := CompareReports(base, cur, 0.10)
+	if !c.OK() {
+		t.Fatalf("expected pass, got %+v", c)
+	}
+	if c.Compared != 2 {
+		t.Fatalf("compared = %d, want 2", c.Compared)
+	}
+	if c.SpeedupKCycles <= 0 {
+		t.Fatalf("geomean = %v, want > 0", c.SpeedupKCycles)
+	}
+}
+
+func TestCompareReportsFlagsRegressionWithStage(t *testing.T) {
+	base := mkReport(KernelResult{
+		Name: "gzip", KCyclesPerSec: 1000,
+		Stages: map[string]float64{"fetch": 0.30, "exec": 0.50, "retire": 0.20},
+	})
+	cur := mkReport(KernelResult{
+		Name: "gzip", KCyclesPerSec: 600,
+		Stages: map[string]float64{"fetch": 0.20, "exec": 0.70, "retire": 0.10},
+	})
+	c := CompareReports(base, cur, 0.10)
+	if c.OK() || len(c.Regressions) != 1 {
+		t.Fatalf("expected one regression, got %+v", c)
+	}
+	g := c.Regressions[0]
+	if g.Name != "gzip" || g.Ratio != 0.6 {
+		t.Fatalf("regression = %+v", g)
+	}
+	if g.Stage != "exec" {
+		t.Fatalf("stage = %q, want exec (grew 0.5 -> 0.7)", g.Stage)
+	}
+	if g.StageGrowth < 0.19 || g.StageGrowth > 0.21 {
+		t.Fatalf("stage growth = %v, want ~0.2", g.StageGrowth)
+	}
+	if !strings.Contains(g.String(), "exec") {
+		t.Fatalf("String() = %q, want stage name", g.String())
+	}
+}
+
+func TestCompareReportsWorstFirstAndMissing(t *testing.T) {
+	base := mkReport(
+		KernelResult{Name: "a", KCyclesPerSec: 100},
+		KernelResult{Name: "b", KCyclesPerSec: 100},
+		KernelResult{Name: "gone", KCyclesPerSec: 100},
+	)
+	cur := mkReport(
+		KernelResult{Name: "a", KCyclesPerSec: 80},
+		KernelResult{Name: "b", KCyclesPerSec: 40},
+		KernelResult{Name: "new", KCyclesPerSec: 100}, // extra rows are fine
+	)
+	c := CompareReports(base, cur, 0.05)
+	if len(c.Regressions) != 2 || c.Regressions[0].Name != "b" {
+		t.Fatalf("want worst-first [b a], got %+v", c.Regressions)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "gone" {
+		t.Fatalf("missing = %v, want [gone]", c.Missing)
+	}
+	if c.OK() {
+		t.Fatal("missing coverage must fail the gate")
+	}
+}
+
+func TestSlowdownInjectsDetectableRegression(t *testing.T) {
+	base := mkReport(
+		KernelResult{Name: "gzip", KCyclesPerSec: 1000, KInstrsPerSec: 700, WallSeconds: 1},
+		KernelResult{Name: "gzip/batch=8", BatchK: 8, KCyclesPerSec: 5000},
+	)
+	slow := base.Slowdown(0.5)
+	if base.Results[0].KCyclesPerSec != 1000 {
+		t.Fatal("Slowdown mutated the original report")
+	}
+	if slow.Results[0].KCyclesPerSec != 500 || slow.Results[0].WallSeconds != 2 {
+		t.Fatalf("slowdown row = %+v", slow.Results[0])
+	}
+	c := CompareReports(base, slow, 0.10)
+	if c.OK() || len(c.Regressions) != 2 {
+		t.Fatalf("injected slowdown not flagged: %+v", c)
+	}
+	// Self-comparison passes even at zero tolerance.
+	if self := CompareReports(base, base, 0); !self.OK() {
+		t.Fatalf("self-comparison failed: %+v", self)
+	}
+}
+
+func TestCompareText(t *testing.T) {
+	base := mkReport(KernelResult{Name: "gzip", KCyclesPerSec: 1000})
+	var sb strings.Builder
+	CompareReports(base, base, 0.1).WriteText(&sb)
+	if !strings.Contains(sb.String(), "ok: no regressions") {
+		t.Fatalf("text = %q", sb.String())
+	}
+	sb.Reset()
+	CompareReports(base, base.Slowdown(0.5), 0.1).WriteText(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED gzip") {
+		t.Fatalf("text = %q", sb.String())
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import "net/http"
+
+// GET /debug/dash: the campaign observatory dashboard. One static,
+// dependency-free HTML page — no frameworks, no CDN fetches, no build
+// step — that polls GET /v1/timeseries and renders each series as an
+// SVG sparkline with live min/avg/max/last rollups. Works from the
+// same origin it is served from, so it needs nothing but the server
+// itself being up.
+
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>paco observatory</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1rem 1.5rem; background: #10141a; color: #d8dee9;
+         font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  h1 { font-size: 15px; margin: 0 0 .25rem; color: #88c0d0; font-weight: 600; }
+  #status { color: #7b8494; margin-bottom: 1rem; }
+  #status.err { color: #bf616a; }
+  #filter { background: #1b2129; color: #d8dee9; border: 1px solid #2c3542;
+            border-radius: 4px; padding: .25rem .5rem; width: 24rem; margin-bottom: 1rem; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); gap: .75rem; }
+  .card { background: #161c24; border: 1px solid #232c38; border-radius: 6px; padding: .6rem .75rem; }
+  .card .name { color: #a3be8c; overflow-wrap: anywhere; }
+  .card .labels { color: #7b8494; font-size: 11px; overflow-wrap: anywhere; }
+  .card .stats { color: #7b8494; font-size: 11px; margin-top: .2rem; }
+  .card .stats b { color: #ebcb8b; font-weight: 600; }
+  svg { display: block; width: 100%; height: 48px; margin-top: .4rem; }
+  polyline { fill: none; stroke: #88c0d0; stroke-width: 1.5; }
+  .fill { fill: #88c0d022; stroke: none; }
+</style>
+</head>
+<body>
+<h1>paco observatory</h1>
+<div id="status">connecting&hellip;</div>
+<input id="filter" type="search" placeholder="filter families (substring)" autocomplete="off">
+<div id="grid"></div>
+<script>
+"use strict";
+const grid = document.getElementById("grid");
+const status = document.getElementById("status");
+const filter = document.getElementById("filter");
+const cards = new Map(); // series key -> {card, line, fill, stats}
+
+function fmt(v) {
+  if (!isFinite(v)) return "-";
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(2) + "k";
+  if (a >= 1 || a === 0) return v.toFixed(2);
+  return v.toPrecision(3);
+}
+
+function sparkline(points) {
+  const w = 320, h = 48, pad = 2;
+  if (!points || points.length < 2) return { line: "", fill: "" };
+  let min = Infinity, max = -Infinity;
+  for (const p of points) { if (p.v < min) min = p.v; if (p.v > max) max = p.v; }
+  const span = (max - min) || 1;
+  const t0 = points[0].t, dt = (points[points.length - 1].t - t0) || 1;
+  const pts = points.map(p => {
+    const x = pad + (p.t - t0) / dt * (w - 2 * pad);
+    const y = h - pad - (p.v - min) / span * (h - 2 * pad);
+    return x.toFixed(1) + "," + y.toFixed(1);
+  });
+  const first = pts[0].split(",")[0], last = pts[pts.length - 1].split(",")[0];
+  return { line: pts.join(" "),
+           fill: first + "," + h + " " + pts.join(" ") + " " + last + "," + h };
+}
+
+function card(key, s) {
+  let c = cards.get(key);
+  if (!c) {
+    const el = document.createElement("div");
+    el.className = "card";
+    el.innerHTML = '<div class="name"></div><div class="labels"></div>' +
+      '<svg viewBox="0 0 320 48" preserveAspectRatio="none">' +
+      '<polygon class="fill"></polygon><polyline></polyline></svg>' +
+      '<div class="stats"></div>';
+    el.querySelector(".name").textContent = s.family;
+    el.querySelector(".labels").textContent = s.labels || "";
+    c = { el, line: el.querySelector("polyline"), fill: el.querySelector("polygon"),
+          stats: el.querySelector(".stats") };
+    cards.set(key, c);
+    grid.appendChild(el);
+  }
+  const sl = sparkline(s.points);
+  c.line.setAttribute("points", sl.line);
+  c.fill.setAttribute("points", sl.fill);
+  c.stats.innerHTML = "last <b>" + fmt(s.last) + "</b> &middot; min " + fmt(s.min) +
+    " &middot; avg " + fmt(s.avg) + " &middot; max " + fmt(s.max) +
+    (s.type === "rate" ? " &middot; rate/s" : "");
+  return c;
+}
+
+function applyFilter() {
+  const q = filter.value.trim().toLowerCase();
+  for (const [key, c] of cards)
+    c.el.style.display = !q || key.toLowerCase().includes(q) ? "" : "none";
+}
+filter.addEventListener("input", applyFilter);
+
+let interval = 1000;
+async function poll() {
+  try {
+    const res = await fetch("/v1/timeseries?points=120");
+    if (!res.ok) throw new Error("HTTP " + res.status);
+    const body = await res.json();
+    if (body.interval_ms > 0) interval = body.interval_ms;
+    const seen = new Set();
+    for (const s of body.series || []) {
+      const key = s.family + (s.labels || "");
+      seen.add(key);
+      card(key, s);
+    }
+    for (const [key, c] of cards)
+      if (!seen.has(key)) { c.el.remove(); cards.delete(key); }
+    applyFilter();
+    status.className = "";
+    status.textContent = (body.series || []).length + " series &middot; sampling every " +
+      (interval / 1000) + "s &middot; " + body.samples + " passes";
+    status.innerHTML = status.textContent;
+  } catch (err) {
+    status.className = "err";
+    status.textContent = "poll failed: " + err.message + " (retrying)";
+  }
+  setTimeout(poll, Math.max(interval, 500));
+}
+poll();
+</script>
+</body>
+</html>
+`

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -456,6 +457,10 @@ func (f *federation) lease(workerName string) (ShardLease, bool) {
 		t.span = f.obs.rec.Start(t.dist.trace, "shard.lease", short(t.id), t.dist.parent)
 		t.span.Set("worker", workerName)
 		t.span.Set("lease", t.leaseID)
+		// Cell range, for campaign-report worker attribution when the
+		// executing worker's spans land in another process's recorder.
+		t.span.Set("lo", strconv.Itoa(t.lo))
+		t.span.Set("hi", strconv.Itoa(t.hi))
 		return ShardLease{
 			LeaseID:  t.leaseID,
 			ShardID:  t.id,

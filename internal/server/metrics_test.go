@@ -53,6 +53,7 @@ var newMetricNames = []string{
 	"paco_sim_job_kcycles_per_sec",
 	"paco_flight_spans_recorded_total",
 	"paco_flight_spans_active",
+	"obs_spans_dropped_total",
 	"paco_go_goroutines",
 	"paco_go_memstats_heap_alloc_bytes",
 	"paco_go_gc_pause_seconds_total",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"paco/internal/obs"
+	"paco/internal/obs/tsdb"
 	"paco/internal/version"
 )
 
@@ -19,6 +20,16 @@ type serverObs struct {
 	reg *obs.Registry
 	rec *obs.Recorder
 	log *slog.Logger
+
+	// ts is the time-series store behind GET /v1/timeseries and the
+	// /debug/dash sparklines: every registry family sampled into ring
+	// buffers at Config.SampleInterval. Created in New, started in
+	// Server.Start, stopped in Server.Close.
+	ts *tsdb.Store
+
+	// level, when non-nil, is the runtime log-level dial behind
+	// GET/PUT /debug/loglevel (Config.LogLevel).
+	level *slog.LevelVar
 
 	// Per-cell simulation timings. Observed by the local campaign runner
 	// and by in-process federation workers wired via InstrumentWorker.
@@ -143,6 +154,11 @@ func newServerObs(s *Server, logger *slog.Logger, flightSpans int) *serverObs {
 		func() float64 { return float64(o.rec.Recorded()) })
 	r.GaugeFunc("paco_flight_spans_active", "Spans started but not yet ended.",
 		func() float64 { return float64(o.rec.Active()) })
+	// Named per the observability plan (no paco_ prefix): the flight
+	// ring's overwrite counter. Nonzero means /debug/flight no longer
+	// holds the full span history — raise Config.FlightSpans.
+	r.CounterFunc("obs_spans_dropped_total", "Finished spans overwritten by the flight recorder ring before being read.",
+		func() float64 { return float64(o.rec.Dropped()) })
 	obs.RegisterGoRuntime(r, "paco_")
 	return o
 }

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode
+}
+
+// TestCampaignReport exercises the deterministic core of
+// GET /v1/campaigns/{id}/report and the ?exec=1 execution layer.
+func TestCampaignReport(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20})
+	st, _ := postJob(t, ts, `{"benchmarks":["gzip","mcf"],"refresh":[100000,200000],"instructions":12000,"warmup":4000}`)
+	waitDone(t, ts, st.ID)
+
+	body, code := getBody(t, ts.URL+"/v1/campaigns/"+st.ID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report status = %d, body %s", code, body)
+	}
+	var rep CampaignReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Key != st.Key || rep.Cells != 4 || rep.Status != "done" {
+		t.Errorf("identity = (%q, %d, %q), want (%q, 4, done)", rep.Key, rep.Cells, rep.Status, st.Key)
+	}
+	if rep.Exec != nil {
+		t.Error("default report must not carry the execution layer")
+	}
+	if len(rep.Benchmarks) != 2 || rep.Benchmarks[0].Benchmark != "gzip" || rep.Benchmarks[1].Benchmark != "mcf" {
+		t.Fatalf("benchmarks = %+v, want gzip then mcf", rep.Benchmarks)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Cells != 2 || b.Completed != 2 || b.Cycles == 0 {
+			t.Errorf("rollup %s = %+v, want 2 completed cells with cycles", b.Benchmark, b)
+		}
+		if b.MinIPC > b.MeanIPC || b.MeanIPC > b.MaxIPC || b.MinIPC <= 0 {
+			t.Errorf("rollup %s IPC ordering broken: %+v", b.Benchmark, b)
+		}
+	}
+
+	// Execution layer: local mode, a synthetic "local" worker covering
+	// every cell, and all four cell spans observed.
+	body, code = getBody(t, ts.URL+"/v1/campaigns/"+st.ID+"/report?exec=1")
+	if code != http.StatusOK {
+		t.Fatalf("exec report status = %d", code)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	ex := rep.Exec
+	if ex == nil {
+		t.Fatal("?exec=1 returned no execution layer")
+	}
+	if ex.Mode != "local" || ex.JobID != st.ID {
+		t.Errorf("exec identity = (%q, %q), want (local, %s)", ex.Mode, ex.JobID, st.ID)
+	}
+	if ex.CellsObserved != 4 || ex.WallSeconds <= 0 || ex.SimSeconds <= 0 {
+		t.Errorf("exec coverage = %d cells, wall %.4fs, sim %.4fs", ex.CellsObserved, ex.WallSeconds, ex.SimSeconds)
+	}
+	if len(ex.Workers) != 1 || ex.Workers[0].Worker != "local" || ex.Workers[0].Cells != 4 {
+		t.Errorf("workers = %+v, want one local worker with 4 cells", ex.Workers)
+	}
+	if ex.StragglerIndex != 1 {
+		t.Errorf("single-worker straggler index = %v, want 1", ex.StragglerIndex)
+	}
+
+	if _, code := getBody(t, ts.URL+"/v1/campaigns/nope/report"); code != http.StatusNotFound {
+		t.Errorf("unknown campaign status = %d, want 404", code)
+	}
+}
+
+// TestCampaignReportByteIdentical pins the determinism contract: the
+// default report body for one grid is byte-for-byte identical across
+// servers with different parallelism and batching, because it contains
+// nothing tied to a particular execution.
+func TestCampaignReportByteIdentical(t *testing.T) {
+	spec := `{"benchmarks":["gzip","mcf"],"widths":[2,4,8],"instructions":12000,"warmup":4000}`
+	topologies := []Config{
+		{JobWorkers: 1, SimWorkers: 1, BatchK: 1, QueueSize: 4, CacheBytes: 1 << 20},
+		{JobWorkers: 2, SimWorkers: 4, BatchK: 3, QueueSize: 4, CacheBytes: 1 << 20},
+	}
+	var bodies [][]byte
+	for i, cfg := range topologies {
+		_, ts := testServer(t, cfg)
+		st, _ := postJob(t, ts, spec)
+		waitDone(t, ts, st.ID)
+		body, code := getBody(t, ts.URL+"/v1/campaigns/"+st.ID+"/report")
+		if code != http.StatusOK {
+			t.Fatalf("topology %d: status %d", i, code)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("reports differ across topologies:\n--- serial/unbatched ---\n%s\n--- parallel/batched ---\n%s",
+			bodies[0], bodies[1])
+	}
+}
+
+// TestLogLevel exercises GET/PUT /debug/loglevel with and without the
+// runtime dial wired.
+func TestLogLevel(t *testing.T) {
+	var lv slog.LevelVar
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20, LogLevel: &lv})
+
+	body, code := getBody(t, ts.URL+"/debug/loglevel")
+	if code != http.StatusOK || !strings.Contains(string(body), `"INFO"`) {
+		t.Fatalf("GET = %d %s, want 200 INFO", code, body)
+	}
+
+	put := func(payload string) (int, string) {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/debug/loglevel", strings.NewReader(payload))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	for _, payload := range []string{"debug", `"debug"`, `{"level":"debug"}`} {
+		lv.Set(slog.LevelInfo)
+		if code, body := put(payload); code != http.StatusOK {
+			t.Errorf("PUT %s = %d %s", payload, code, body)
+		}
+		if lv.Level() != slog.LevelDebug {
+			t.Errorf("PUT %s left level %v, want DEBUG", payload, lv.Level())
+		}
+	}
+	if code, _ := put("shouting"); code != http.StatusBadRequest {
+		t.Errorf("PUT shouting = %d, want 400", code)
+	}
+	if lv.Level() != slog.LevelDebug {
+		t.Errorf("rejected PUT changed the level to %v", lv.Level())
+	}
+
+	// Without Config.LogLevel the dial does not exist.
+	_, bare := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20})
+	if _, code := getBody(t, bare.URL+"/debug/loglevel"); code != http.StatusNotImplemented {
+		t.Errorf("unwired GET = %d, want 501", code)
+	}
+}
+
+// TestFlightSince verifies incremental polling: since= keeps only
+// spans that ended strictly after the given instant.
+func TestFlightSince(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20})
+	st, _ := postJob(t, ts, tinySpec)
+	waitDone(t, ts, st.ID)
+
+	var report FlightReport
+	body, _ := getBody(t, ts.URL+"/debug/flight")
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	newest := report.Spans[len(report.Spans)-1].End
+
+	body, _ = getBody(t, ts.URL+"/debug/flight?since="+newest.UTC().Format(time.RFC3339Nano))
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Spans) != 0 {
+		t.Errorf("since=newest returned %d spans, want 0", len(report.Spans))
+	}
+
+	early := newest.Add(-time.Hour).UTC().Format(time.RFC3339Nano)
+	body, _ = getBody(t, ts.URL+"/debug/flight?since="+early)
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Spans) == 0 {
+		t.Error("since=-1h filtered everything out")
+	}
+
+	if _, code := getBody(t, ts.URL+"/debug/flight?since=yesterday"); code != http.StatusBadRequest {
+		t.Errorf("bad since = %d, want 400", code)
+	}
+}
+
+// TestTimeseriesEndpoint runs a job on a fast-sampling server and
+// checks the store answers with rate series and honors its filters.
+func TestTimeseriesEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{
+		JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20,
+		SampleInterval: 5 * time.Millisecond,
+	})
+	st, _ := postJob(t, ts, tinySpec)
+	waitDone(t, ts, st.ID)
+	time.Sleep(30 * time.Millisecond) // a few sampling passes
+
+	var report TimeseriesReport
+	body, code := getBody(t, ts.URL+"/v1/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Samples == 0 || report.SeriesHeld == 0 || len(report.Series) == 0 {
+		t.Fatalf("empty store after sampling: %d samples, %d series held, %d returned",
+			report.Samples, report.SeriesHeld, len(report.Series))
+	}
+	if report.IntervalMS != 5 {
+		t.Errorf("interval_ms = %d, want 5", report.IntervalMS)
+	}
+
+	body, _ = getBody(t, ts.URL+"/v1/timeseries?family=paco_sim_cells_total&points=3")
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Series) != 1 {
+		t.Fatalf("family filter returned %d series, want 1", len(report.Series))
+	}
+	s := report.Series[0]
+	if s.Family != "paco_sim_cells_total" || s.Type != "rate" {
+		t.Errorf("series = (%q, %q), want (paco_sim_cells_total, rate)", s.Family, s.Type)
+	}
+	if len(s.Points) > 3 {
+		t.Errorf("points=3 returned %d points", len(s.Points))
+	}
+
+	if _, code := getBody(t, ts.URL+"/v1/timeseries?points=-1"); code != http.StatusBadRequest {
+		t.Errorf("bad points = %d, want 400", code)
+	}
+
+	// Sampling disabled: the endpoint still answers, empty.
+	_, quiet := testServer(t, Config{
+		JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20, SampleInterval: -1,
+	})
+	body, code = getBody(t, quiet.URL+"/v1/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("disabled store status = %d", code)
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Samples != 0 || len(report.Series) != 0 {
+		t.Errorf("disabled store reported %d samples, %d series", report.Samples, len(report.Series))
+	}
+}
+
+// TestDashServes pins the dashboard's availability and shape: static
+// HTML, no external fetches, polls the timeseries endpoint.
+func TestDashServes(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20})
+	resp, err := http.Get(ts.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	page := string(body)
+	for _, want := range []string{"/v1/timeseries", "<svg", "paco observatory"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "import ", "require("} {
+		if strings.Contains(page, banned) {
+			t.Errorf("dashboard is not dependency-free: contains %q", banned)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"paco/internal/campaign"
 	"paco/internal/experiments"
 	"paco/internal/obs"
+	"paco/internal/obs/tsdb"
 	"paco/internal/perf"
 	"paco/internal/version"
 )
@@ -90,6 +91,16 @@ type Config struct {
 	// Log receives structured operational messages (nil discards them).
 	// Every job-lifecycle record carries the job's trace ID.
 	Log *slog.Logger
+
+	// LogLevel, when non-nil, is the LevelVar the Log handler filters
+	// by — exposing it here enables runtime adjustment through
+	// GET/PUT /debug/loglevel without restarting the process.
+	LogLevel *slog.LevelVar
+
+	// SampleInterval is the time-series store's sampling period for
+	// GET /v1/timeseries and the /debug/dash sparklines (0 selects 1s;
+	// negative disables sampling — the endpoints still answer, empty).
+	SampleInterval time.Duration
 
 	// FlightSpans caps how many finished spans the flight recorder
 	// behind GET /debug/flight retains (0 selects 4096; negative
@@ -194,6 +205,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.obs = newServerObs(s, cfg.Log, cfg.FlightSpans)
+	s.obs.level = cfg.LogLevel
+	if cfg.SampleInterval >= 0 {
+		s.obs.ts = tsdb.New(tsdb.Config{Registry: s.obs.reg, Interval: cfg.SampleInterval})
+	}
 	s.fed = newFederation(cfg.LeaseTTL, cfg.WorkerLiveness, cfg.ShardRetryLimit, cache, s.obs)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -204,6 +219,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/shards/{id}/renew", s.handleShardRenew)
 	mux.HandleFunc("POST /v1/shards/{id}/result", s.handleShardResult)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.registerDebug(mux)
@@ -211,11 +228,14 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the job worker pool.
+// Start launches the job worker pool and the metrics sampler.
 func (s *Server) Start() {
 	s.wg.Add(s.cfg.JobWorkers)
 	for i := 0; i < s.cfg.JobWorkers; i++ {
 		go s.worker()
+	}
+	if s.obs.ts != nil {
+		s.obs.ts.Start()
 	}
 }
 
@@ -233,6 +253,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	if s.obs.ts != nil {
+		s.obs.ts.Close()
+	}
 	// Jobs a worker never picked up were drained by the closed-channel
 	// range in worker() and marked failed by runJob's closed check.
 }

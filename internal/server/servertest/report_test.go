@@ -1,0 +1,143 @@
+package servertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"paco/internal/server"
+)
+
+// reportSpec expands to 4 cells across 2 benchmarks — enough cells to
+// shard unevenly and enough benchmarks to exercise the rollup sort.
+const reportSpec = `{"benchmarks":["gzip","mcf"],"refresh":[100000,200000],"instructions":12000,"warmup":4000}`
+
+func fetchReport(t *testing.T, base, id, query string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id + "/report" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report %s: %s: %s", query, resp.Status, body)
+	}
+	return body
+}
+
+// TestCampaignReportIdenticalAcrossTopologies is the observatory's
+// determinism contract: the default campaign report contains nothing
+// tied to a particular execution, so one grid must produce
+// byte-identical report bodies from a local run and from federations
+// of any worker count, shard plan, or batch width.
+func TestCampaignReportIdenticalAcrossTopologies(t *testing.T) {
+	topologies := []struct {
+		name string
+		cfg  Config
+	}{
+		{"local", Config{Workers: 1, Server: server.Config{Shards: 0}}},
+		{"1worker-1shard-unbatched", Config{Workers: 1, Shards: 1, BatchK: 1}},
+		{"3workers-3shards", Config{Workers: 3, Shards: 3, BatchK: 2}},
+		{"2workers-4shards-batched", Config{Workers: 2, Shards: 4}},
+	}
+	bodies := make([][]byte, len(topologies))
+	for i, tp := range topologies {
+		c := New(t, tp.cfg)
+		st, err := c.RunGrid(reportSpec, 60*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", tp.name, err)
+		}
+		bodies[i] = fetchReport(t, c.URL(), st.ID, "")
+		c.Close()
+	}
+	for i := 1; i < len(topologies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("report from %s differs from %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+				topologies[i].name, topologies[0].name,
+				topologies[0].name, bodies[0], topologies[i].name, bodies[i])
+		}
+	}
+}
+
+// TestCampaignReportExecutionLayer reconstructs a federated run's
+// execution analytics and checks they describe what actually happened:
+// every cell observed, the right workers credited with the right cell
+// counts, and balance indices in their defined ranges.
+func TestCampaignReportExecutionLayer(t *testing.T) {
+	c := New(t, Config{Workers: 2, Shards: 4})
+	st, err := c.RunGrid(reportSpec, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Cells int `json:"cells"`
+		Exec  *struct {
+			Mode           string  `json:"mode"`
+			WallSeconds    float64 `json:"wall_seconds"`
+			SimSeconds     float64 `json:"sim_seconds"`
+			CellsObserved  int     `json:"cells_observed"`
+			StragglerIndex float64 `json:"straggler_index"`
+			ImbalanceRatio float64 `json:"imbalance_ratio"`
+			Shards         *struct {
+				Leases  int `json:"leases"`
+				Retries int `json:"retries"`
+			} `json:"shards"`
+			Workers []struct {
+				Worker string  `json:"worker"`
+				Shards int     `json:"shards"`
+				Cells  int     `json:"cells"`
+				Busy   float64 `json:"busy_seconds"`
+			} `json:"workers"`
+		} `json:"exec"`
+	}
+	if err := json.Unmarshal(fetchReport(t, c.URL(), st.ID, "?exec=1"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	ex := rep.Exec
+	if ex == nil {
+		t.Fatal("?exec=1 returned no execution layer")
+	}
+	if ex.Mode != "federated" {
+		t.Errorf("mode = %q, want federated", ex.Mode)
+	}
+	if ex.CellsObserved != rep.Cells {
+		t.Errorf("observed %d of %d cell spans", ex.CellsObserved, rep.Cells)
+	}
+	if ex.Shards == nil || ex.Shards.Leases < 4 {
+		t.Errorf("shard activity = %+v, want >= 4 leases", ex.Shards)
+	}
+	cells, shards := 0, 0
+	for _, w := range ex.Workers {
+		if w.Worker != "w1" && w.Worker != "w2" {
+			t.Errorf("unexpected worker %q in report", w.Worker)
+		}
+		if w.Busy <= 0 {
+			t.Errorf("worker %s busy = %v, want > 0", w.Worker, w.Busy)
+		}
+		cells += w.Cells
+		shards += w.Shards
+	}
+	if cells != rep.Cells {
+		t.Errorf("workers credited with %d cells, campaign had %d", cells, rep.Cells)
+	}
+	if shards != ex.Shards.Leases-ex.Shards.Retries {
+		t.Errorf("workers credited with %d executions, coordinator completed %d",
+			shards, ex.Shards.Leases-ex.Shards.Retries)
+	}
+	if ex.StragglerIndex < 1 {
+		t.Errorf("straggler index = %v, want >= 1", ex.StragglerIndex)
+	}
+	if ex.ImbalanceRatio < 1 {
+		t.Errorf("imbalance ratio = %v, want >= 1", ex.ImbalanceRatio)
+	}
+	if ex.SimSeconds <= 0 || ex.WallSeconds <= 0 {
+		t.Errorf("timings: wall %v sim %v, want both > 0", ex.WallSeconds, ex.SimSeconds)
+	}
+}

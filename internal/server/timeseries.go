@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"paco/internal/obs/tsdb"
+)
+
+// GET /v1/timeseries: the sampled history of every metric family — the
+// query surface behind `paco-obs watch` and the /debug/dash sparklines.
+//
+// Query parameters:
+//
+//	family  exact metric family ("" = all; histogram quantile series
+//	        are families too, e.g. paco_sim_cell_duration_seconds_p99)
+//	labels  exact rendered label match, e.g. {route="/v1/jobs"}
+//	since   RFC 3339 time; keeps only points at or after it
+//	points  newest N points per series
+//
+// Counter (and histogram count) series return per-second rates between
+// consecutive samples (type "rate"); gauges and quantiles return raw
+// values. Every series carries min/max/avg/last/rate rollups over the
+// returned window.
+
+// TimeseriesReport is the body of GET /v1/timeseries.
+type TimeseriesReport struct {
+	// IntervalMS is the sampling period in milliseconds — consumers
+	// poll no faster than this.
+	IntervalMS int64 `json:"interval_ms"`
+	// SeriesHeld and SeriesDropped report store occupancy against its
+	// fixed budget; Samples counts sampling passes taken.
+	SeriesHeld    int    `json:"series_held"`
+	SeriesDropped uint64 `json:"series_dropped"`
+	Samples       uint64 `json:"samples"`
+
+	Series []tsdb.Series `json:"series"`
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	ts := s.obs.ts
+	if ts == nil {
+		writeJSON(w, http.StatusOK, TimeseriesReport{Series: []tsdb.Series{}})
+		return
+	}
+	q := tsdb.Query{
+		Family: r.URL.Query().Get("family"),
+		Labels: r.URL.Query().Get("labels"),
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad since %q (want RFC 3339): %v", v, err)
+			return
+		}
+		q.Since = t
+	}
+	if v := r.URL.Query().Get("points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			errorJSON(w, http.StatusBadRequest, "bad points %q", v)
+			return
+		}
+		q.MaxPoints = n
+	}
+	series := ts.Query(q)
+	if series == nil {
+		series = []tsdb.Series{}
+	}
+	held, dropped, samples := ts.Stats()
+	writeJSON(w, http.StatusOK, TimeseriesReport{
+		IntervalMS:    ts.Interval().Milliseconds(),
+		SeriesHeld:    held,
+		SeriesDropped: dropped,
+		Samples:       samples,
+		Series:        series,
+	})
+}

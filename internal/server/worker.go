@@ -193,6 +193,10 @@ func (w *Worker) runLease(ctx context.Context, lease ShardLease) {
 	span := w.cfg.Recorder.Start(lease.Trace, "shard.execute", short(lease.ShardID), lease.Span)
 	span.Set("worker", w.cfg.Name)
 	span.Set("cells", strconv.Itoa(lease.Hi-lease.Lo))
+	// The global cell range lets the campaign report attribute merged
+	// results (and their simulated cycles) back to this worker.
+	span.Set("lo", strconv.Itoa(lease.Lo))
+	span.Set("hi", strconv.Itoa(lease.Hi))
 	results, infraErr := w.execute(ctx, lease, span.ID())
 	if ctx.Err() != nil {
 		// Killed mid-shard: abandon unposted; the lease will expire.

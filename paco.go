@@ -242,6 +242,18 @@ func MeasureKernels(benchmarks []string, smt bool, opts BenchOptions) (*BenchRep
 	return perf.MeasureAll(benchmarks, smt, opts)
 }
 
+// BenchComparison is the verdict of CompareBenchReports — the
+// perf-regression gate behind `paco-bench compare`.
+type BenchComparison = perf.Comparison
+
+// CompareBenchReports diffs a current kernel report against a baseline:
+// any configuration whose kcycles/sec fell more than tolerance (a
+// fraction, e.g. 0.15) is reported as a regression, annotated with the
+// pipeline stage whose cost fraction grew the most.
+func CompareBenchReports(baseline, current *BenchReport, tolerance float64) *BenchComparison {
+	return perf.CompareReports(baseline, current, tolerance)
+}
+
 // Sweep grids (see internal/campaign): the declarative, serializable
 // description of a configuration sweep — the cross product of
 // benchmarks, refresh periods, machine widths, and gating schemes —
