@@ -18,6 +18,11 @@
 //	POST /v1/shards/lease         worker protocol: lease the next shard
 //	POST /v1/shards/{id}/renew    worker protocol: keep a slow shard's lease alive
 //	POST /v1/shards/{id}/result   worker protocol: post shard results
+//	POST /v1/sessions             open a live estimator session (session.Spec JSON)
+//	POST /v1/sessions/{id}/events stream branch events (NDJSON or binary trace chunks)
+//	GET  /v1/sessions/{id}/scores rolling score snapshot
+//	GET  /v1/sessions/{id}/live   SSE score stream (ends with a "final" event)
+//	DELETE /v1/sessions/{id}      close the session; returns final scores
 //	GET  /v1/experiments/{name}   paper figure/table, byte-identical to the CLI
 //	GET  /v1/campaigns/{id}/report campaign analytics (deterministic; ?exec=1 adds timelines)
 //	GET  /v1/timeseries           sampled metric history (?family=&labels=&since=&points=)
@@ -90,6 +95,9 @@ func run() error {
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON objects instead of text")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints at /debug/pprof/")
 	sampleEvery := flag.Duration("sample-interval", 0, "metric sampling period for /v1/timeseries and /debug/dash (0 = 1s, negative disables)")
+	sessionMax := flag.Int("session-max", 0, "cap on concurrently open estimator sessions (0 = default 1024)")
+	sessionQueue := flag.Int("session-queue", 0, "queued-event high-water mark per session before ingest sees 429 (0 = default 65536)")
+	sessionTTL := flag.Duration("session-ttl", 0, "evict estimator sessions idle this long (0 = default 5m)")
 	shards := flag.Int("shards", 0, "coordinator mode: split each sweep into up to N shards for federation workers (0 = execute locally)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: re-lease a shard this long after its worker goes silent")
 	coordinator := flag.String("coordinator", "", "worker mode: lease shards from this coordinator URL instead of serving")
@@ -130,6 +138,10 @@ func run() error {
 		EnablePprof:    *pprofOn,
 		LogLevel:       levelVar,
 		SampleInterval: *sampleEvery,
+
+		SessionMaxOpen:     *sessionMax,
+		SessionQueueEvents: *sessionQueue,
+		SessionTTL:         *sessionTTL,
 	}
 	if *quick {
 		q := experiments.Quick()

@@ -1,32 +1,52 @@
 // Command paco-trace records branch-event traces from the bundled
-// simulator and replays them against any of the path confidence
-// estimators, decoupling estimator research from simulation cost.
+// simulator, replays them against any of the path confidence
+// estimators, and streams them into a live paco-serve estimator
+// session — decoupling estimator research from simulation cost.
 //
 // Usage:
 //
 //	paco-trace record -bench gzip -instructions 1000000 -o gzip.trace
 //	paco-trace record -scenario interpreter -o interp.trace
 //	paco-trace record -scenario myworkload.json -o custom.trace
+//	paco-trace record -fuzz 42 -o fuzzed.trace
 //	paco-trace replay -i gzip.trace -estimator paco
 //	paco-trace replay -i gzip.trace -estimator count -threshold 3
+//	paco-trace replay -i gzip.trace -estimators paco,count -scores
+//	paco-trace stream -i gzip.trace -server http://localhost:8344
 //
 // Estimators: paco, static, perbranch, count.
 //
-// A scenario-driven recording stamps the scenario's canonical content
-// hash into the trace header, so the stream carries provenance: replay
-// prints the hash, and any scenario document that canonicalizes to the
-// same bytes names the same workload.
+// A scenario-driven recording (-scenario or -fuzz) stamps the
+// scenario's canonical content hash into the trace header, so the
+// stream carries provenance: replay prints the hash, and any scenario
+// document that canonicalizes to the same bytes names the same
+// workload.
+//
+// `replay -scores` prints the session scores document — the exact
+// bytes DELETE /v1/sessions/{id} returns for the same event stream —
+// so `stream` output and offline replay are byte-diffable:
+//
+//	paco-trace stream -i t.trace -estimators paco,count > live.json
+//	paco-trace replay -i t.trace -estimators paco,count -scores > off.json
+//	cmp live.json off.json
 package main
 
 import (
+	"bytes"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"paco/internal/core"
 	"paco/internal/cpu"
 	"paco/internal/scenario"
+	"paco/internal/session"
 	"paco/internal/trace"
 	"paco/internal/version"
 	"paco/internal/workload"
@@ -42,6 +62,8 @@ func main() {
 		err = record(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "stream":
+		err = stream(os.Args[2:])
 	case "-version", "--version":
 		version.Fprint(os.Stdout, "paco-trace")
 	default:
@@ -54,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paco-trace record|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paco-trace record|replay|stream [flags]")
 	os.Exit(2)
 }
 
@@ -62,6 +84,7 @@ func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	bench := fs.String("bench", "gzip", "benchmark model to trace")
 	scn := fs.String("scenario", "", "scenario family or .json file to trace instead of -bench")
+	fuzz := fs.Uint64("fuzz", 0, "trace a deterministically fuzzed scenario from this seed instead of -bench")
 	instructions := fs.Uint64("instructions", 500_000, "goodpath instructions to record")
 	warmup := fs.Uint64("warmup", 100_000, "warmup instructions before recording")
 	out := fs.String("o", "paco.trace", "output trace file")
@@ -72,16 +95,26 @@ func record(args []string) error {
 		provenance [32]byte
 		err        error
 	)
-	benchExplicit := false
+	benchExplicit, fuzzExplicit := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "bench" {
+		switch f.Name {
+		case "bench":
 			benchExplicit = true
+		case "fuzz":
+			fuzzExplicit = true
 		}
 	})
-	if *scn != "" && benchExplicit {
-		return fmt.Errorf("-bench %s and -scenario %s are mutually exclusive", *bench, *scn)
+	sources := 0
+	for _, set := range []bool{benchExplicit, *scn != "", fuzzExplicit} {
+		if set {
+			sources++
+		}
 	}
-	if *scn != "" {
+	if sources > 1 {
+		return fmt.Errorf("-bench, -scenario, and -fuzz are mutually exclusive")
+	}
+	switch {
+	case *scn != "":
 		scs, err := scenario.ParseArg(*scn)
 		if err != nil {
 			return err
@@ -95,8 +128,21 @@ func record(args []string) error {
 		if provenance, err = scs[0].Hash(); err != nil {
 			return err
 		}
-	} else if spec, err = workload.NewBenchmark(*bench); err != nil {
-		return err
+	case fuzzExplicit:
+		// The same seed always samples the same scenario document, so a
+		// fuzzed recording is as reproducible as a named one; the
+		// provenance hash identifies which document the seed produced.
+		sc := scenario.NewFuzzer(*fuzz).Next()
+		if spec, err = sc.Compile(); err != nil {
+			return err
+		}
+		if provenance, err = sc.Hash(); err != nil {
+			return err
+		}
+	default:
+		if spec, err = workload.NewBenchmark(*bench); err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -137,6 +183,8 @@ func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "paco.trace", "input trace file")
 	estName := fs.String("estimator", "paco", "paco|static|perbranch|count")
+	estList := fs.String("estimators", "", "comma-separated estimator set for -scores mode (implies -scores)")
+	scores := fs.Bool("scores", false, "print the session scores JSON document to stdout (byte-identical to the stream subcommand's final output for the same events)")
 	threshold := fs.Uint("threshold", 3, "JRS threshold for -estimator count")
 	refresh := fs.Uint64("refresh", core.DefaultRefreshPeriod, "PaCo MRT refresh period")
 	fs.Parse(args)
@@ -150,6 +198,34 @@ func replay(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *scores || *estList != "" {
+		// Session mode: replay through the same estimator-session engine
+		// the /v1/sessions surface runs, and keep stdout pure JSON —
+		// provenance goes to stderr so the document stays diffable.
+		list := *estList
+		if list == "" {
+			list = *estName
+		}
+		spec, err := session.ParseEstimators(list, *refresh, uint32(*threshold))
+		if err != nil {
+			return err
+		}
+		if prov := r.Provenance(); prov != ([32]byte{}) {
+			fmt.Fprintf(os.Stderr, "scenario hash %s\n", hex.EncodeToString(prov[:]))
+		}
+		sc, err := session.Replay(r, spec)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(out, '\n'))
+		return err
+	}
+
 	var est core.Estimator
 	switch *estName {
 	case "paco":
@@ -179,4 +255,168 @@ func replay(args []string) error {
 		fmt.Printf("final low-confidence count %d\n", e.Count())
 	}
 	return nil
+}
+
+// stream pushes a recorded trace into a live paco-serve estimator
+// session: open, POST the raw trace bytes in chunks (the server's
+// incremental decoder accepts splits anywhere, even mid-record), honor
+// 429 backpressure by retrying the identical chunk after Retry-After,
+// and close. The final scores document — the DELETE response — goes to
+// stdout verbatim, so it byte-compares against `replay -scores`;
+// rolling progress goes to stderr.
+func stream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	in := fs.String("i", "paco.trace", "input trace file")
+	server := fs.String("server", "http://localhost:8344", "paco-serve base URL")
+	estList := fs.String("estimators", "paco", "comma-separated estimator kinds (paco, static, perbranch, count)")
+	threshold := fs.Uint("threshold", 3, "JRS threshold for count estimators")
+	refresh := fs.Uint64("refresh", core.DefaultRefreshPeriod, "PaCo MRT refresh period")
+	chunkSize := fs.Int("chunk", 64<<10, "ingest chunk size in bytes")
+	rate := fs.Float64("rate", 0, "pace ingest at this many events/sec (0 = as fast as the server accepts)")
+	interval := fs.Duration("interval", time.Second, "rolling score report period on stderr (0 disables)")
+	fs.Parse(args)
+
+	if *chunkSize <= 0 {
+		return fmt.Errorf("-chunk must be positive, got %d", *chunkSize)
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+
+	spec, err := session.ParseEstimators(*estList, *refresh, uint32(*threshold))
+	if err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*server+"/v1/sessions", "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		return err
+	}
+	opened := struct {
+		ID  string `json:"id"`
+		Key string `json:"key"`
+	}{}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("open session: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if err := json.Unmarshal(body, &opened); err != nil {
+		return fmt.Errorf("open session: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "session %s (key %.12s…): streaming %d bytes from %s\n",
+		opened.ID, opened.Key, len(raw), *in)
+
+	var (
+		start     = time.Now()
+		lastPrint = start
+		accepted  int
+		rejected  int
+		chunks    int
+	)
+	eventsURL := *server + "/v1/sessions/" + opened.ID + "/events"
+	for off := 0; off < len(raw); {
+		end := min(off+*chunkSize, len(raw))
+		chunk := raw[off:end]
+		// Retry the identical bytes on 429: the server rolled its decoder
+		// back, so the rejected chunk was not consumed and resending it
+		// loses and duplicates nothing.
+		for {
+			resp, err := http.Post(eventsURL, "application/octet-stream", bytes.NewReader(chunk))
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				rejected++
+				time.Sleep(retryAfter(resp))
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+			}
+			var ack struct {
+				Accepted int `json:"accepted"`
+				Queued   int `json:"queued"`
+			}
+			if err := json.Unmarshal(body, &ack); err != nil {
+				return fmt.Errorf("ingest ack: %w", err)
+			}
+			accepted += ack.Accepted
+			break
+		}
+		off = end
+		chunks++
+
+		if *rate > 0 {
+			// Pace on acknowledged events: sleep until wall time catches
+			// up with accepted/rate.
+			due := start.Add(time.Duration(float64(accepted) / *rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if *interval > 0 && time.Since(lastPrint) >= *interval {
+			lastPrint = time.Now()
+			printRolling(os.Stderr, *server, opened.ID, accepted)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, *server+"/v1/sessions/"+opened.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	final, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("close session: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(final))
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "streamed %d events in %d chunks (%d backpressure retries) in %v (%.0f events/sec)\n",
+		accepted, chunks, rejected, elapsed.Round(time.Millisecond),
+		float64(accepted)/elapsed.Seconds())
+	_, err = os.Stdout.Write(final)
+	return err
+}
+
+// retryAfter reads a 429's Retry-After header (integer seconds),
+// defaulting to one second when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+// printRolling reports one rolling-score line on w: the server-side
+// snapshot next to the client's acknowledged-event count.
+func printRolling(w io.Writer, server, id string, sent int) {
+	resp, err := http.Get(server + "/v1/sessions/" + id + "/scores")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var sc session.Scores
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&sc) != nil {
+		return
+	}
+	line := fmt.Sprintf("sent %d: applied=%d queued=%d inflight=%d", sent, sc.Events, sc.Queued, sc.Inflight)
+	for _, e := range sc.Estimators {
+		switch {
+		case e.PGoodpath != nil:
+			line += fmt.Sprintf(" %s=%.3f", e.Kind, *e.PGoodpath)
+		case e.LowConfidence != nil:
+			line += fmt.Sprintf(" %s=%d", e.Kind, *e.LowConfidence)
+		}
+	}
+	fmt.Fprintln(w, line)
 }

@@ -47,6 +47,37 @@ func ExampleEncodeProbThreshold() {
 	// gated after 2 unresolved branches
 }
 
+// ExampleOpenSession scores a small NDJSON event stream through a live
+// estimator session: PaCo next to the count baseline, one fold, final
+// snapshot at Close.
+func ExampleOpenSession() {
+	s, err := paco.OpenSession(paco.SessionConfig{
+		Estimators: []paco.SessionEstimator{{Kind: "paco"}, {Kind: "count", Threshold: 3}},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	events := `{"kind":"fetch","tag":1,"pc":16448,"mdc":3,"conditional":true}
+{"kind":"cycle","cycle":3}
+{"kind":"resolve","tag":1}
+{"kind":"retire","pc":16448,"mdc":3,"conditional":true,"correct":true}
+`
+	if err := s.IngestNDJSON([]byte(events)); err != nil {
+		panic(err)
+	}
+	final := s.Close()
+	fmt.Printf("events %d, retires %d, final %v\n", final.Events, final.Retires, final.Final)
+	for _, e := range final.Estimators {
+		if e.PGoodpath != nil {
+			fmt.Printf("%s: P(goodpath) = %.0f\n", e.Kind, *e.PGoodpath)
+		}
+	}
+	// Output:
+	// events 4, retires 1, final true
+	// paco: P(goodpath) = 1
+}
+
 // ExampleNewMachine runs a bundled benchmark model on the paper's Table 6
 // machine.
 func ExampleNewMachine() {

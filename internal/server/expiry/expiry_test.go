@@ -1,0 +1,123 @@
+package expiry
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpiredRemovesAndSorts(t *testing.T) {
+	tr := New(time.Minute)
+	t0 := time.Unix(1000, 0)
+	tr.Touch("b", t0)
+	tr.Touch("a", t0)
+	tr.Touch("c", t0.Add(30*time.Second))
+
+	if got := tr.Expired(t0.Add(59 * time.Second)); len(got) != 0 {
+		t.Fatalf("nothing should expire before the TTL, got %v", got)
+	}
+	got := tr.Expired(t0.Add(time.Minute))
+	if want := []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expired = %v, want %v", got, want)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("expired keys must be removed; Len = %d", tr.Len())
+	}
+	// Expired keys are gone for good until touched again.
+	if got := tr.Expired(t0.Add(time.Hour)); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("second sweep = %v, want [c]", got)
+	}
+}
+
+func TestTouchRenews(t *testing.T) {
+	tr := New(time.Minute)
+	t0 := time.Unix(0, 0)
+	tr.Touch("s", t0)
+	tr.Touch("s", t0.Add(50*time.Second))
+	if got := tr.Expired(t0.Add(70 * time.Second)); len(got) != 0 {
+		t.Fatalf("renewed key expired early: %v", got)
+	}
+	if got := tr.Expired(t0.Add(110 * time.Second)); !reflect.DeepEqual(got, []string{"s"}) {
+		t.Fatalf("renewed key should expire a TTL after the renewal, got %v", got)
+	}
+}
+
+func TestForgetAndRemaining(t *testing.T) {
+	tr := New(time.Minute)
+	t0 := time.Unix(0, 0)
+	tr.Touch("s", t0)
+	if rem, ok := tr.Remaining("s", t0.Add(15*time.Second)); !ok || rem != 45*time.Second {
+		t.Fatalf("Remaining = %v, %v; want 45s, true", rem, ok)
+	}
+	tr.Forget("s")
+	tr.Forget("never-seen") // must be a no-op
+	if _, ok := tr.Remaining("s", t0); ok {
+		t.Fatal("forgotten key still tracked")
+	}
+	if got := tr.Expired(t0.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("forgotten key expired: %v", got)
+	}
+}
+
+func TestOldest(t *testing.T) {
+	tr := New(time.Minute)
+	t0 := time.Unix(0, 0)
+	if tr.Oldest(t0) != 0 {
+		t.Fatal("empty tracker should report zero oldest age")
+	}
+	tr.Touch("young", t0.Add(40*time.Second))
+	tr.Touch("old", t0)
+	if got := tr.Oldest(t0.Add(50 * time.Second)); got != 50*time.Second {
+		t.Fatalf("Oldest = %v, want 50s", got)
+	}
+}
+
+func TestNewRejectsNonPositiveTTL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+// TestConcurrentTouchExpire hammers the tracker from many goroutines —
+// the expiry/renew race the session sweeper and ingest paths exercise —
+// and is meaningful under -race.
+func TestConcurrentTouchExpire(t *testing.T) {
+	tr := New(time.Millisecond)
+	base := time.Unix(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g)
+			for i := 0; i < 500; i++ {
+				now := base.Add(time.Duration(i) * time.Millisecond)
+				tr.Touch(key, now)
+				tr.Remaining(key, now)
+				if i%7 == 0 {
+					tr.Expired(now)
+				}
+				if i%11 == 0 {
+					tr.Forget(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain whatever is left; every key must come out exactly once.
+	seen := map[string]bool{}
+	for _, k := range tr.Expired(base.Add(time.Hour)) {
+		if seen[k] {
+			t.Fatalf("key %s returned twice", k)
+		}
+		seen[k] = true
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tracker should be empty after final sweep, Len = %d", tr.Len())
+	}
+}

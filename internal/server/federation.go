@@ -11,6 +11,7 @@ import (
 
 	"paco/internal/campaign"
 	"paco/internal/obs"
+	"paco/internal/server/expiry"
 )
 
 // Federation — the coordinator side of distributed sharded campaigns.
@@ -110,11 +111,10 @@ type shardTask struct {
 	grid    *campaign.Grid
 	lo, hi  int
 
-	done     bool
-	leaseID  string // nonempty while leased
-	worker   string
-	leasedAt time.Time
-	retries  int
+	done    bool
+	leaseID string // nonempty while leased
+	worker  string
+	retries int
 
 	// span covers the current lease from grant to settlement. Expiry or
 	// a reported failure ends it with the retry cause; the next lease
@@ -179,7 +179,12 @@ type workerState struct {
 // HTTP handlers, distribute, and the metrics scrape are the only
 // entrances.
 type federation struct {
-	ttl        time.Duration
+	// leaseClock is the shared lazy-expiry tracker (internal/server/expiry),
+	// keyed by lease ID; the session table's idle sweeper uses the same
+	// type. Touched on lease and renew, forgotten on settlement, drained in
+	// expireLocked. Mutated only under mu so the leases map never disagrees
+	// with it.
+	leaseClock *expiry.Tracker
 	liveness   time.Duration
 	retryLimit int
 	cache      *Cache
@@ -207,7 +212,7 @@ func newFederation(ttl, liveness time.Duration, retryLimit int, cache *Cache, o 
 		retryLimit = 3
 	}
 	return &federation{
-		ttl:        ttl,
+		leaseClock: expiry.New(ttl),
 		liveness:   liveness,
 		retryLimit: retryLimit,
 		cache:      cache,
@@ -344,6 +349,7 @@ func (f *federation) settleTaskLocked(t *shardTask) {
 	t.span.End("withdrawn")
 	if t.leaseID != "" {
 		delete(f.leases, t.leaseID)
+		f.leaseClock.Forget(t.leaseID)
 		t.leaseID = ""
 	}
 	// Fresh slice, never in-place: callers iterate snapshots of the old
@@ -399,23 +405,25 @@ func (f *federation) touchWorkerLocked(name string, now time.Time) *workerState 
 // by a dead worker is re-leased the next time any live worker checks in.
 func (f *federation) expireLocked(now time.Time) {
 	var expired []*shardTask
-	for id, t := range f.leases {
-		if now.Sub(t.leasedAt) >= f.ttl {
-			delete(f.leases, id)
-			t.leaseID = ""
-			t.retries++
-			f.retriesTotal++
-			t.span.Set("retry_cause", "lease expired")
-			t.span.End("lease expired")
-			f.obs.log.Warn("lease expired; re-queueing shard",
-				"shard", short(t.id), "worker", t.worker, "retry", t.retries, "trace", t.dist.trace)
-			if t.retries > f.retryLimit {
-				f.failCampaignLocked(t.dist, fmt.Errorf("server: shard %s exceeded %d retries (last worker %s)",
-					short(t.id), f.retryLimit, t.worker))
-				continue
-			}
-			expired = append(expired, t)
+	for _, id := range f.leaseClock.Expired(now) {
+		t := f.leases[id]
+		if t == nil {
+			continue // settled concurrently with the sweep; Forget raced
 		}
+		delete(f.leases, id)
+		t.leaseID = ""
+		t.retries++
+		f.retriesTotal++
+		t.span.Set("retry_cause", "lease expired")
+		t.span.End("lease expired")
+		f.obs.log.Warn("lease expired; re-queueing shard",
+			"shard", short(t.id), "worker", t.worker, "retry", t.retries, "trace", t.dist.trace)
+		if t.retries > f.retryLimit {
+			f.failCampaignLocked(t.dist, fmt.Errorf("server: shard %s exceeded %d retries (last worker %s)",
+				short(t.id), f.retryLimit, t.worker))
+			continue
+		}
+		expired = append(expired, t)
 	}
 	if len(expired) > 0 {
 		// Expired shards jump the queue: they have already waited a full
@@ -451,8 +459,8 @@ func (f *federation) lease(workerName string) (ShardLease, bool) {
 		f.nextLease++
 		t.leaseID = fmt.Sprintf("l-%06d", f.nextLease)
 		t.worker = workerName
-		t.leasedAt = now
 		f.leases[t.leaseID] = t
+		f.leaseClock.Touch(t.leaseID, now)
 		w.leased++
 		t.span = f.obs.rec.Start(t.dist.trace, "shard.lease", short(t.id), t.dist.parent)
 		t.span.Set("worker", workerName)
@@ -468,7 +476,7 @@ func (f *federation) lease(workerName string) (ShardLease, bool) {
 			Grid:     t.grid,
 			Lo:       t.lo,
 			Hi:       t.hi,
-			TTLMS:    f.ttl.Milliseconds(),
+			TTLMS:    f.leaseClock.TTL().Milliseconds(),
 			Trace:    t.dist.trace,
 			Span:     t.span.ID(),
 		}, true
@@ -498,7 +506,7 @@ func (f *federation) renew(shardID string, ren ShardRenewal) (int, string) {
 	if t == nil || t.id != shardID || t.done {
 		return 410, "lease no longer held"
 	}
-	t.leasedAt = now
+	f.leaseClock.Touch(ren.LeaseID, now)
 	// Each renewal is a point event in the lease's lifecycle: a zero-
 	// length child span of the lease span, so /debug/flight shows the
 	// full lease → renew* → result chain.
@@ -529,6 +537,7 @@ func (f *federation) result(shardID string, post ShardResultPost) (int, string) 
 		}
 		if t.leaseID != "" {
 			delete(f.leases, t.leaseID)
+			f.leaseClock.Forget(t.leaseID)
 			t.leaseID = ""
 		}
 		t.retries++
@@ -626,11 +635,9 @@ func (f *federation) stats() FederationStats {
 			st.ShardsPending++
 		}
 	}
+	st.OldestLeaseAge = f.leaseClock.Oldest(now)
 	active := map[string]int{}
 	for _, t := range f.leases {
-		if age := now.Sub(t.leasedAt); age > st.OldestLeaseAge {
-			st.OldestLeaseAge = age
-		}
 		active[t.worker]++
 	}
 	names := make([]string, 0, len(f.workers))

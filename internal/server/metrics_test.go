@@ -50,6 +50,15 @@ var newMetricNames = []string{
 	"paco_http_requests_total",
 	"paco_http_request_duration_seconds",
 	"paco_cache_lookups_total",
+	"paco_session_open",
+	"paco_session_queued_events",
+	"paco_session_opened_total",
+	"paco_session_closed_total",
+	"paco_session_open_rejected_total",
+	"paco_session_events_total",
+	"paco_session_backpressure_total",
+	"paco_session_ingest_duration_seconds",
+	"paco_session_apply_batch_events",
 	"paco_sim_job_kcycles_per_sec",
 	"paco_flight_spans_recorded_total",
 	"paco_flight_spans_active",

@@ -6,6 +6,7 @@ import (
 
 	"paco/internal/obs"
 	"paco/internal/obs/tsdb"
+	"paco/internal/session"
 	"paco/internal/version"
 )
 
@@ -48,6 +49,11 @@ type serverObs struct {
 
 	// Content-addressed lookup outcomes by kind (job, shard, experiment).
 	cacheLookups *obs.CounterVec
+
+	// sessionMetrics are the push instruments the /v1/sessions table
+	// writes into (paco_session_*); the open/queued gauges scrape the
+	// table directly.
+	sessionMetrics session.Metrics
 }
 
 // newServerObs builds the registry and instruments for one server. The
@@ -150,6 +156,37 @@ func newServerObs(s *Server, logger *slog.Logger, flightSpans int) *serverObs {
 	rateHist := r.Histogram("paco_sim_job_kcycles_per_sec",
 		"Per-run simulated kilocycles per wall second.", obs.ExpBuckets(100, 4, 9))
 	s.sampler.OnRate(rateHist.Observe)
+	// Live estimator-session families (the /v1/sessions subsystem). The
+	// gauges read the table at scrape time; it is wired up right after
+	// newServerObs returns, before any request can reach /metrics.
+	r.GaugeFunc("paco_session_open", "Estimator sessions currently open.",
+		func() float64 {
+			if s.sessions == nil {
+				return 0
+			}
+			return float64(s.sessions.Len())
+		})
+	r.GaugeFunc("paco_session_queued_events", "Decoded events awaiting application across all sessions.",
+		func() float64 {
+			if s.sessions == nil {
+				return 0
+			}
+			return float64(s.sessions.QueuedEvents())
+		})
+	o.sessionMetrics = session.Metrics{
+		Opened: r.Counter("paco_session_opened_total", "Estimator sessions opened."),
+		Closed: r.CounterVec("paco_session_closed_total",
+			"Estimator sessions closed, by reason (client, evicted, shutdown).", "reason"),
+		OpenRejected: r.Counter("paco_session_open_rejected_total",
+			"Session opens rejected by the table's session cap."),
+		Events: r.Counter("paco_session_events_total", "Events accepted into session queues."),
+		Backpressure: r.Counter("paco_session_backpressure_total",
+			"Ingest chunks rejected by a full session queue (HTTP 429s)."),
+		IngestDuration: r.Histogram("paco_session_ingest_duration_seconds",
+			"Seconds per session ingest call (decode + enqueue).", obs.DurationBuckets()),
+		ApplyBatch: r.Histogram("paco_session_apply_batch_events",
+			"Events applied per session shard-worker drain.", obs.ExpBuckets(1, 4, 9)),
+	}
 	r.CounterFunc("paco_flight_spans_recorded_total", "Spans committed to the flight recorder.",
 		func() float64 { return float64(o.rec.Recorded()) })
 	r.GaugeFunc("paco_flight_spans_active", "Spans started but not yet ended.",

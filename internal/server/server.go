@@ -35,6 +35,7 @@ import (
 	"paco/internal/obs"
 	"paco/internal/obs/tsdb"
 	"paco/internal/perf"
+	"paco/internal/session"
 	"paco/internal/version"
 )
 
@@ -84,6 +85,17 @@ type Config struct {
 	WorkerLiveness  time.Duration
 	ShardRetryLimit int
 
+	// SessionShards, SessionMaxOpen, SessionQueueEvents, SessionTTL, and
+	// SessionSweep size the live estimator-session table behind
+	// /v1/sessions (zero values select the session package defaults:
+	// 8 shards, 1024 sessions, 65536 queued events per session, 5m idle
+	// TTL, sweep every TTL/4).
+	SessionShards      int
+	SessionMaxOpen     int
+	SessionQueueEvents int
+	SessionTTL         time.Duration
+	SessionSweep       time.Duration
+
 	// Experiments scales the /v1/experiments reports (nil selects
 	// experiments.Default(), the scale cmd/paco-repro runs at).
 	Experiments *experiments.Config
@@ -117,12 +129,13 @@ type Config struct {
 // New, install Handler in an http.Server, call Start to launch the
 // worker pool and Close to drain it.
 type Server struct {
-	cfg    Config
-	expCfg experiments.Config
-	cache  *Cache
-	fed    *federation
-	mux    *http.ServeMux
-	obs    *serverObs
+	cfg      Config
+	expCfg   experiments.Config
+	cache    *Cache
+	fed      *federation
+	sessions *session.Table
+	mux      *http.ServeMux
+	obs      *serverObs
 
 	nextCampaign atomic.Uint64 // Distribute campaign IDs
 
@@ -210,6 +223,16 @@ func New(cfg Config) (*Server, error) {
 		s.obs.ts = tsdb.New(tsdb.Config{Registry: s.obs.reg, Interval: cfg.SampleInterval})
 	}
 	s.fed = newFederation(cfg.LeaseTTL, cfg.WorkerLiveness, cfg.ShardRetryLimit, cache, s.obs)
+	s.sessions = session.NewTable(session.TableConfig{
+		Shards:          cfg.SessionShards,
+		MaxSessions:     cfg.SessionMaxOpen,
+		MaxQueuedEvents: cfg.SessionQueueEvents,
+		IdleTTL:         cfg.SessionTTL,
+		SweepInterval:   cfg.SessionSweep,
+		Metrics:         s.obs.sessionMetrics,
+		Recorder:        s.obs.rec,
+		Log:             s.obs.log,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -218,6 +241,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
 	mux.HandleFunc("POST /v1/shards/{id}/renew", s.handleShardRenew)
 	mux.HandleFunc("POST /v1/shards/{id}/result", s.handleShardResult)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("GET /v1/sessions/{id}/scores", s.handleSessionScores)
+	mux.HandleFunc("GET /v1/sessions/{id}/live", s.handleSessionLive)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
@@ -241,7 +269,9 @@ func (s *Server) Start() {
 
 // Close stops accepting submissions, cancels in-flight campaigns (their
 // executing cells finish, unstarted cells are skipped), fails jobs still
-// waiting in the queue, and waits for the worker pool to drain.
+// waiting in the queue, waits for the worker pool to drain, and shuts
+// down the session table (remaining sessions close with their queues
+// applied).
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -253,6 +283,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	s.sessions.Shutdown()
 	if s.obs.ts != nil {
 		s.obs.ts.Close()
 	}

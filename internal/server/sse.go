@@ -6,6 +6,27 @@ import (
 	"net/http"
 )
 
+// sseStart switches the response to a Server-Sent Events stream and
+// returns the event writer (each call emits one "event:"/"data:" frame
+// and flushes). ok is false — with an error response already written —
+// when the connection cannot stream. Shared by the job-progress and
+// session-live endpoints.
+func sseStart(w http.ResponseWriter) (send func(name string, data []byte), ok bool) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		errorJSON(w, http.StatusInternalServerError, "response writer cannot stream")
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	return func(name string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		fl.Flush()
+	}, true
+}
+
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
 // of the job's progress, fed by the campaign engine's progress
 // callbacks. The stream opens with a "snapshot" event (current status),
@@ -21,23 +42,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	fl, ok := w.(http.Flusher)
+	writeEvent, ok := sseStart(w)
 	if !ok {
-		errorJSON(w, http.StatusInternalServerError, "response writer cannot stream")
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
 
 	ch, unsubscribe := j.subscribe()
 	defer unsubscribe()
 
-	writeEvent := func(name string, data []byte) {
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
-		fl.Flush()
-	}
 	writeStatus := func(name string) {
 		data, err := json.Marshal(j.status(false))
 		if err != nil {

@@ -1,0 +1,133 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"paco/internal/trace"
+)
+
+// NDJSON is the text wire format for session ingest: one JSON object per
+// line, mirroring the binary trace records so either encoding of the
+// same event stream drives a session identically.
+//
+//	{"kind":"fetch","tag":7,"pc":16448,"history":48879,"mdc":3,"conditional":true}
+//	{"kind":"resolve","tag":7}
+//	{"kind":"squash","tag":8}
+//	{"kind":"retire","pc":16448,"history":48879,"mdc":3,"conditional":true,"correct":true}
+//	{"kind":"cycle","cycle":6400}
+type wireEvent struct {
+	Kind        string `json:"kind"`
+	Tag         uint64 `json:"tag,omitempty"`
+	PC          uint64 `json:"pc,omitempty"`
+	History     uint32 `json:"history,omitempty"`
+	MDC         uint8  `json:"mdc,omitempty"`
+	Conditional bool   `json:"conditional,omitempty"`
+	Correct     bool   `json:"correct,omitempty"`
+	Cycle       uint64 `json:"cycle,omitempty"`
+}
+
+// kindNames maps binary event kinds to their NDJSON spellings (index by
+// EventKind; slot 0 unused).
+var kindNames = [...]string{"", "fetch", "resolve", "squash", "retire", "cycle"}
+
+// parseNDJSONLine decodes one NDJSON line into a trace event.
+func parseNDJSONLine(line []byte) (trace.Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(line, &w); err != nil {
+		return trace.Event{}, fmt.Errorf("session: bad event line: %w", err)
+	}
+	ev := trace.Event{Tag: w.Tag, PC: w.PC, History: w.History, MDC: w.MDC}
+	if w.Conditional {
+		ev.Flags |= 1
+	}
+	if w.Correct {
+		ev.Flags |= 2
+	}
+	switch w.Kind {
+	case "fetch":
+		ev.Kind = trace.EvFetch
+	case "resolve":
+		ev.Kind = trace.EvResolve
+	case "squash":
+		ev.Kind = trace.EvSquash
+	case "retire":
+		ev.Kind = trace.EvRetire
+	case "cycle":
+		ev.Kind = trace.EvCycle
+		ev.PC = w.Cycle
+	default:
+		return trace.Event{}, fmt.Errorf("session: unknown event kind %q", w.Kind)
+	}
+	return ev, nil
+}
+
+// DecodeNDJSON parses every newline-terminated event in data, returning
+// the events and the unterminated tail (the partial last line of a
+// chunked upload — the caller stashes it and prepends it to the next
+// chunk). Blank lines are skipped. A parse error is terminal for the
+// stream.
+func DecodeNDJSON(data []byte) ([]trace.Event, []byte, error) {
+	var evs []trace.Event
+	for {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return evs, data, nil
+		}
+		line := bytes.TrimSpace(data[:nl])
+		data = data[nl+1:]
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := parseNDJSONLine(line)
+		if err != nil {
+			return evs, nil, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// MarshalNDJSON renders one event as an NDJSON line (with trailing
+// newline) — the client-side encoder used by examples and tests.
+func MarshalNDJSON(ev trace.Event) ([]byte, error) {
+	if int(ev.Kind) <= 0 || int(ev.Kind) >= len(kindNames) {
+		return nil, fmt.Errorf("session: unknown event kind %d", ev.Kind)
+	}
+	w := wireEvent{Kind: kindNames[ev.Kind]}
+	switch ev.Kind {
+	case trace.EvFetch:
+		w.Tag, w.PC, w.History, w.MDC = ev.Tag, ev.PC, ev.History, ev.MDC
+		w.Conditional = ev.Conditional()
+	case trace.EvResolve, trace.EvSquash:
+		w.Tag = ev.Tag
+	case trace.EvRetire:
+		w.PC, w.History, w.MDC = ev.PC, ev.History, ev.MDC
+		w.Conditional, w.Correct = ev.Conditional(), ev.Correct()
+	case trace.EvCycle:
+		w.Cycle = ev.PC
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// IngestNDJSON parses and applies a complete NDJSON document — the
+// convenience entry point for direct (non-server) use, where data is not
+// chunked: a final line without a trailing newline is accepted.
+func (s *Session) IngestNDJSON(data []byte) error {
+	evs, rest, err := DecodeNDJSON(data)
+	if err != nil {
+		return err
+	}
+	if rest = bytes.TrimSpace(rest); len(rest) > 0 {
+		ev, err := parseNDJSONLine(rest)
+		if err != nil {
+			return err
+		}
+		evs = append(evs, ev)
+	}
+	return s.ApplyAll(evs)
+}

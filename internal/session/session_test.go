@@ -1,0 +1,313 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"paco/internal/core"
+	"paco/internal/trace"
+)
+
+// genEvents synthesizes a valid event stream: fetches open tags,
+// resolves/squashes close them, retires train, cycle markers tick —
+// deterministic by seed, exercising every estimator path.
+func genEvents(seed int64, n int) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var evs []trace.Event
+	var open []uint64
+	nextTag := uint64(1)
+	cycle := uint64(0)
+	for len(evs) < n {
+		switch r := rng.Intn(10); {
+		case r < 4: // fetch
+			ev := trace.Event{
+				Kind:    trace.EvFetch,
+				Tag:     nextTag,
+				PC:      0x4000 + uint64(rng.Intn(64))*4,
+				History: uint32(rng.Intn(1 << 12)),
+				MDC:     uint8(rng.Intn(16)),
+			}
+			if rng.Intn(4) != 0 {
+				ev.Flags |= 1 // conditional
+			}
+			open = append(open, nextTag)
+			nextTag++
+			evs = append(evs, ev)
+		case r < 7 && len(open) > 0: // resolve or squash
+			i := rng.Intn(len(open))
+			tag := open[i]
+			open = append(open[:i], open[i+1:]...)
+			kind := trace.EvResolve
+			if rng.Intn(5) == 0 {
+				kind = trace.EvSquash
+			}
+			evs = append(evs, trace.Event{Kind: kind, Tag: tag})
+		case r < 9: // retire
+			ev := trace.Event{
+				Kind:    trace.EvRetire,
+				PC:      0x4000 + uint64(rng.Intn(64))*4,
+				History: uint32(rng.Intn(1 << 12)),
+				MDC:     uint8(rng.Intn(16)),
+				Flags:   1, // conditional
+			}
+			if rng.Intn(5) != 0 {
+				ev.Flags |= 2 // correct
+			}
+			evs = append(evs, ev)
+		default: // cycle marker
+			cycle += 64
+			evs = append(evs, trace.Event{Kind: trace.EvCycle, PC: cycle})
+		}
+	}
+	return evs
+}
+
+// serialize writes events as a binary trace stream.
+func serialize(t *testing.T, evs []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func allKindsSpec() Spec {
+	return Spec{Estimators: []EstimatorSpec{
+		{Kind: KindPaCo, Refresh: 128},
+		{Kind: KindStatic},
+		{Kind: KindPerBranch},
+		{Kind: KindCount, Threshold: 3},
+	}}
+}
+
+func TestSpecNormalizeAndKey(t *testing.T) {
+	zeroKey, err := Spec{}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := Spec{Estimators: []EstimatorSpec{{Kind: "PaCo", Refresh: core.DefaultRefreshPeriod}}}
+	expKey, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroKey != expKey {
+		t.Fatalf("zero spec and explicit default spec keyed differently:\n %s\n %s", zeroKey, expKey)
+	}
+	other, err := Spec{Estimators: []EstimatorSpec{{Kind: KindCount}}}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == zeroKey {
+		t.Fatal("different specs share a key")
+	}
+	if _, err := (Spec{Estimators: []EstimatorSpec{{Kind: "magic"}}}).Key(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	n, err := (Spec{Estimators: []EstimatorSpec{{Kind: KindCount}}}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Estimators[0].Threshold != DefaultCountThreshold {
+		t.Fatalf("count threshold not defaulted: %+v", n.Estimators[0])
+	}
+}
+
+func TestParseEstimators(t *testing.T) {
+	spec, err := ParseEstimators("paco, count", 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Estimators) != 2 || n.Estimators[0].Kind != KindPaCo || n.Estimators[1].Kind != KindCount {
+		t.Fatalf("parsed spec = %+v", n)
+	}
+	if n.Estimators[0].Refresh != 512 || n.Estimators[1].Threshold != 7 {
+		t.Fatalf("knobs not applied: %+v", n)
+	}
+	if _, err := ParseEstimators("paco,bogus", 0, 0); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+// TestStreamingMatchesOfflineReplay is the package's core contract: a
+// recorded trace fed chunk-by-chunk through Decoder+Apply finishes with
+// byte-identical scores to offline Replay of the same bytes.
+func TestStreamingMatchesOfflineReplay(t *testing.T) {
+	raw := serialize(t, genEvents(42, 5000))
+	spec := allKindsSpec()
+
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Replay(r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 37, 23 * 10, 4096} {
+		s, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d trace.Decoder
+		for off := 0; off < len(raw); off += chunk {
+			end := off + chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if err := d.Feed(raw[off:end], s.Apply); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streamed := s.Close()
+		if !reflect.DeepEqual(streamed, offline) {
+			t.Fatalf("chunk %d: streamed scores diverge from offline replay:\n stream %+v\noffline %+v",
+				chunk, streamed, offline)
+		}
+		sj, _ := json.Marshal(streamed)
+		oj, _ := json.Marshal(offline)
+		if !bytes.Equal(sj, oj) {
+			t.Fatalf("chunk %d: JSON bytes differ:\n%s\n%s", chunk, sj, oj)
+		}
+	}
+}
+
+// TestSessionMatchesTraceReplay pins the session's estimator lifecycle
+// to trace.Replay's: the same trace leaves a bare estimator in exactly
+// the state the session reports.
+func TestSessionMatchesTraceReplay(t *testing.T) {
+	raw := serialize(t, genEvents(7, 3000))
+
+	est := core.NewPaCo(core.PaCoConfig{RefreshPeriod: 128})
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Replay(r, []core.Estimator{est}); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := Replay(r2, Spec{Estimators: []EstimatorSpec{{Kind: KindPaCo, Refresh: 128}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := *scores.Estimators[0].EncodedSum; got != est.EncodedSum() {
+		t.Fatalf("session EncodedSum = %d, trace.Replay estimator = %d", got, est.EncodedSum())
+	}
+	if got := *scores.Estimators[0].PGoodpath; got != est.GoodpathProb() {
+		t.Fatalf("session PGoodpath = %v, trace.Replay estimator = %v", got, est.GoodpathProb())
+	}
+}
+
+// TestNDJSONRoundTrip proves the text and binary encodings of the same
+// events drive a session to identical scores.
+func TestNDJSONRoundTrip(t *testing.T) {
+	evs := genEvents(11, 800)
+
+	direct, err := New(allKindsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.ApplyAll(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc bytes.Buffer
+	for _, ev := range evs {
+		line, err := MarshalNDJSON(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc.Write(line)
+	}
+	viaText, err := New(allKindsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaText.IngestNDJSON(doc.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := viaText.Close(), direct.Close(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("NDJSON scores diverge:\n text  %+v\n direct %+v", got, want)
+	}
+}
+
+func TestDecodeNDJSONPartialLines(t *testing.T) {
+	line, err := MarshalNDJSON(trace.Event{Kind: trace.EvCycle, PC: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split mid-line: the tail must come back as the remainder.
+	cut := len(line) - 5
+	evs, rest, err := DecodeNDJSON(line[:cut])
+	if err != nil || len(evs) != 0 || !bytes.Equal(rest, line[:cut]) {
+		t.Fatalf("partial line mishandled: evs=%v rest=%q err=%v", evs, rest, err)
+	}
+	evs, rest, err = DecodeNDJSON(append(append([]byte(nil), rest...), line[cut:]...))
+	if err != nil || len(evs) != 1 || len(rest) != 0 {
+		t.Fatalf("joined line mishandled: evs=%v rest=%q err=%v", evs, rest, err)
+	}
+	if evs[0].Kind != trace.EvCycle || evs[0].PC != 64 {
+		t.Fatalf("decoded event = %+v", evs[0])
+	}
+	if _, _, err := DecodeNDJSON([]byte("{\"kind\":\"warp\"}\n")); err == nil {
+		t.Fatal("unknown NDJSON kind accepted")
+	}
+}
+
+func TestErrorLatchAndClose(t *testing.T) {
+	s, err := New(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(trace.Event{Kind: trace.EvResolve, Tag: 99}); err == nil {
+		t.Fatal("resolve without fetch accepted")
+	}
+	if err := s.Apply(trace.Event{Kind: trace.EvCycle, PC: 64}); err == nil {
+		t.Fatal("latched session accepted another event")
+	}
+	if sc := s.Scores(); sc.Error == "" {
+		t.Fatal("latched error missing from scores")
+	}
+
+	s2, err := New(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Apply(trace.Event{Kind: trace.EvFetch, Tag: 1, Flags: 1, MDC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	final := s2.Close()
+	if !final.Final || final.Inflight != 0 || final.Squashes != 1 {
+		t.Fatalf("close did not drain: %+v", final)
+	}
+	if err := s2.Apply(trace.Event{Kind: trace.EvCycle}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session accepted an event: %v", err)
+	}
+	if again := s2.Close(); !reflect.DeepEqual(again, final) {
+		t.Fatal("second Close returned different scores")
+	}
+}

@@ -163,7 +163,13 @@ func (tr *Reader) Read() (Event, error) {
 		}
 		return Event{}, err
 	}
-	b := tr.buf[:]
+	return parseRecord(tr.buf[:])
+}
+
+// parseRecord decodes one fixed-size record from b (which must hold at
+// least recordSize bytes) — shared by Reader.Read and Decoder.Feed so
+// the pull and push paths cannot drift.
+func parseRecord(b []byte) (Event, error) {
 	ev := Event{
 		Kind:    EventKind(b[0]),
 		Tag:     binary.LittleEndian.Uint64(b[1:]),
@@ -178,8 +184,8 @@ func (tr *Reader) Read() (Event, error) {
 	return ev, nil
 }
 
-// branchEvent converts a record to the estimator-facing event.
-func (ev Event) branchEvent() core.BranchEvent {
+// Branch converts a record to the estimator-facing event.
+func (ev Event) Branch() core.BranchEvent {
 	return core.BranchEvent{
 		PC:          ev.PC,
 		History:     ev.History,
@@ -187,6 +193,12 @@ func (ev Event) branchEvent() core.BranchEvent {
 		Conditional: ev.Flags&1 != 0,
 	}
 }
+
+// Conditional reports the record's conditional-branch bit.
+func (ev Event) Conditional() bool { return ev.Flags&1 != 0 }
+
+// Correct reports a retire record's prediction-correct bit.
+func (ev Event) Correct() bool { return ev.Flags&2 != 0 }
 
 // Recorder adapts an estimator-shaped sink into trace records: install it
 // as an extra estimator on a simulated thread and every lifecycle event is
@@ -290,7 +302,7 @@ func Replay(r *Reader, ests []core.Estimator) (ReplayStats, error) {
 		switch ev.Kind {
 		case EvFetch:
 			st.Fetches++
-			be := ev.branchEvent()
+			be := ev.Branch()
 			s := slot{contribs: make([]core.Contribution, len(ests))}
 			for i, e := range ests {
 				s.contribs[i] = e.BranchFetched(be)
@@ -317,9 +329,9 @@ func Replay(r *Reader, ests []core.Estimator) (ReplayStats, error) {
 			}
 		case EvRetire:
 			st.Retires++
-			be := ev.branchEvent()
+			be := ev.Branch()
 			for _, e := range ests {
-				e.BranchRetired(be, ev.Flags&2 != 0)
+				e.BranchRetired(be, ev.Correct())
 			}
 		case EvCycle:
 			st.Cycles = ev.PC

@@ -39,6 +39,7 @@ import (
 	"paco/internal/perf"
 	"paco/internal/scenario"
 	"paco/internal/server"
+	"paco/internal/session"
 	"paco/internal/smt"
 	"paco/internal/version"
 	"paco/internal/workload"
@@ -379,6 +380,32 @@ type (
 func NewFederationWorker(cfg FederationWorkerConfig) (*FederationWorker, error) {
 	return server.NewWorker(cfg)
 }
+
+// Live estimator sessions (see internal/session and DESIGN.md §6b):
+// a session scores an event stream as it arrives — branch events fan
+// out to a configured estimator set and rolling scores read back at
+// any point. paco-serve hosts sessions over HTTP (/v1/sessions, with
+// sharding, backpressure, and idle eviction); this embedded surface is
+// the same engine applied synchronously. Closing a session yields the
+// identical scores document that streaming the same events through the
+// service produces.
+type (
+	// Session is one live estimator set folding over an event stream.
+	Session = session.Session
+	// SessionConfig names the estimator set (kinds paco, static,
+	// perbranch, count); the zero value selects one default PaCo.
+	SessionConfig = session.Spec
+	// SessionEstimator selects one estimator in a SessionConfig.
+	SessionEstimator = session.EstimatorSpec
+	// SessionScores is a point-in-time score snapshot.
+	SessionScores = session.Scores
+)
+
+// OpenSession builds a live estimator session from its configuration.
+// Feed it events with IngestNDJSON (or Apply with decoded trace
+// events), read Scores at any point, and Close to squash in-flight
+// branches and take the final snapshot.
+func OpenSession(cfg SessionConfig) (*Session, error) { return session.New(cfg) }
 
 // CanonicalJSON rewrites a JSON document into the canonical form the
 // result cache hashes: object keys sorted, whitespace removed, numbers
