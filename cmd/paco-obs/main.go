@@ -8,6 +8,7 @@
 //	paco-obs flight <base-url> [-kind k] [-trace t] [-min n]
 //	paco-obs watch <base-url> [-family f] [-points n] [-interval d] [-n polls]
 //	paco-obs report <base-url> -id <job> [-min-workers n] [-max-straggler x] [-max-imbalance x]
+//	paco-obs sessions <base-url> [-sessions n] [-events n] [-chunk b] [-concurrency n] [-estimators list] [-seed s] [-verify]
 //
 // lint fetches GET /metrics and runs the strict Prometheus exposition
 // linter over it (internal/obs.LintExposition): metric and label name
@@ -30,6 +31,14 @@
 // -max-straggler, -max-imbalance each exit 1 when violated — the
 // federation smoke's proof that work actually spread across workers.
 //
+// sessions is a load generator for the live estimator-session surface:
+// it opens -sessions sessions, streams deterministic synthetic branch
+// events into each (-concurrency at a time), closes them, and reports
+// sessions/sec, events/sec, and 429 backpressure retries. Against a
+// routed coordinator it also prints per-worker placement, and -verify
+// byte-compares every final scores document against an offline
+// session.Replay of the same events — any drift exits 1.
+//
 // Examples:
 //
 //	paco-obs lint "http://$ADDR"
@@ -37,6 +46,7 @@
 //	paco-obs flight "http://$ADDR" -trace "$TRACE_ID"
 //	paco-obs watch "http://$ADDR" -family kcycles -n 1
 //	paco-obs report "http://$ADDR" -id "$JOB" -min-workers 2 -max-straggler 3.5
+//	paco-obs sessions "http://$ADDR" -sessions 16 -events 10000 -verify
 package main
 
 import (
@@ -73,8 +83,10 @@ func run(args []string) error {
 		return watch(base, rest)
 	case "report":
 		return report(base, rest)
+	case "sessions":
+		return sessions(base, rest)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want lint, flight, watch, or report)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want lint, flight, watch, report, or sessions)", cmd)
 	}
 }
 

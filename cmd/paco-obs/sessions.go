@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paco/internal/core"
+	"paco/internal/session"
+	"paco/internal/trace"
+)
+
+// sessions is a load generator for the estimator-session surface: open
+// N sessions, stream deterministic synthetic branch events into each
+// from -concurrency streamers, close, and report throughput. Against a
+// routing coordinator (-route-sessions) the opens spread across the
+// federation, so it doubles as a routed-topology exerciser. With
+// -verify each DELETE response is byte-compared against an offline
+// session.Replay of the same events — the protocol's determinism
+// contract, checked end to end over HTTP.
+func sessions(base string, args []string) error {
+	fs := flag.NewFlagSet("sessions", flag.ContinueOnError)
+	count := fs.Int("sessions", 8, "sessions to open and stream")
+	events := fs.Int("events", 5000, "synthetic branch events per session")
+	chunk := fs.Int("chunk", 32<<10, "ingest chunk size in bytes")
+	concurrency := fs.Int("concurrency", 4, "sessions streaming at once")
+	estList := fs.String("estimators", "paco,count", "comma-separated estimator kinds for each session")
+	seed := fs.Int64("seed", 1, "base seed; session i streams SyntheticEvents(seed+i)")
+	verify := fs.Bool("verify", false, "byte-compare each final scores document against offline replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count <= 0 || *events <= 0 || *chunk <= 0 || *concurrency <= 0 {
+		return fmt.Errorf("-sessions, -events, -chunk, and -concurrency must all be positive")
+	}
+
+	spec, err := session.ParseEstimators(*estList, core.DefaultRefreshPeriod, 3)
+	if err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, *concurrency)
+		errs       = make(chan error, *count)
+		totalEv    atomic.Int64
+		total429   atomic.Int64
+		byWorkerMu sync.Mutex
+		byWorker   = map[string]int{}
+	)
+	start := time.Now()
+	for i := 0; i < *count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ev, retried, worker, err := streamOneSession(base, specJSON, spec, *seed+int64(i), *events, *chunk, *verify)
+			totalEv.Add(int64(ev))
+			total429.Add(int64(retried))
+			if worker != "" {
+				byWorkerMu.Lock()
+				byWorker[worker]++
+				byWorkerMu.Unlock()
+			}
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for err := range errs {
+		failed++
+		fmt.Fprintln(os.Stderr, "sessions:", err)
+	}
+	fmt.Printf("sessions: %d streamed (%d failed) in %v — %.1f sessions/sec, %.0f events/sec, %d backpressure retries\n",
+		*count, failed, elapsed.Round(time.Millisecond),
+		float64(*count)/elapsed.Seconds(), float64(totalEv.Load())/elapsed.Seconds(), total429.Load())
+	if len(byWorker) > 0 {
+		fmt.Printf("  placement:")
+		for w, n := range byWorker {
+			fmt.Printf(" %s=%d", w, n)
+		}
+		fmt.Println()
+	}
+	if *verify {
+		fmt.Printf("  verify: %d/%d finals byte-identical to offline replay\n", *count-failed, *count)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failed, *count)
+	}
+	return nil
+}
+
+// streamOneSession drives one full session lifecycle: open, stream the
+// seeded synthetic trace in chunks (retrying 429s with the identical
+// bytes), DELETE, and optionally verify the final scores against
+// offline replay. Returns events streamed, 429 retries, and the owning
+// worker (empty against a non-routing server).
+func streamOneSession(base string, specJSON []byte, spec session.Spec, seed int64, events, chunkSize int, verify bool) (int, int, string, error) {
+	evs := session.SyntheticEvents(seed, events)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			return 0, 0, "", err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, 0, "", err
+	}
+	raw := buf.Bytes()
+
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return 0, 0, "", fmt.Errorf("open: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var opened struct {
+		ID     string `json:"id"`
+		Worker string `json:"worker"`
+	}
+	if err := json.Unmarshal(body, &opened); err != nil {
+		return 0, 0, "", err
+	}
+
+	retried := 0
+	for off := 0; off < len(raw); {
+		end := min(off+chunkSize, len(raw))
+		for {
+			resp, err := http.Post(base+"/v1/sessions/"+opened.ID+"/events",
+				"application/octet-stream", bytes.NewReader(raw[off:end]))
+			if err != nil {
+				return 0, retried, opened.Worker, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return 0, retried, opened.Worker, fmt.Errorf("ingest: HTTP %d", resp.StatusCode)
+			}
+			retried++
+			time.Sleep(10 * time.Millisecond)
+		}
+		off = end
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+opened.ID, nil)
+	if err != nil {
+		return 0, retried, opened.Worker, err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, retried, opened.Worker, err
+	}
+	final, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, retried, opened.Worker, fmt.Errorf("close: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(final))
+	}
+
+	if verify {
+		r, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return len(evs), retried, opened.Worker, err
+		}
+		offline, err := session.Replay(r, spec)
+		if err != nil {
+			return len(evs), retried, opened.Worker, err
+		}
+		want, err := json.MarshalIndent(offline, "", "  ")
+		if err != nil {
+			return len(evs), retried, opened.Worker, err
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(final, want) {
+			return len(evs), retried, opened.Worker,
+				fmt.Errorf("final scores differ from offline replay:\n got %s\nwant %s", final, want)
+		}
+	}
+	return len(evs), retried, opened.Worker, nil
+}

@@ -8,6 +8,7 @@
 //
 //	paco-serve [flags]
 //	paco-serve -coordinator http://host:8344 [-worker-name w1] [-j N]
+//	paco-serve -coordinator http://host:8344 -sessions-addr :0   # session worker
 //
 // Endpoints:
 //
@@ -52,6 +53,14 @@
 //	curl -s localhost:8344/v1/jobs -d '{"benchmarks":["gzip","twolf"]}'
 //	curl -s localhost:8344/v1/jobs/j-000001
 //	curl -N localhost:8344/v1/jobs/j-000001/events
+//
+//	# routed estimator sessions: the coordinator hashes each session
+//	# onto a worker and journals its chunks; kill a worker mid-stream
+//	# and its sessions replay onto a survivor with identical finals
+//	paco-serve -route-sessions -addr :8344 &
+//	paco-serve -coordinator http://localhost:8344 -worker-name w1 -sessions-addr :0 &
+//	paco-serve -coordinator http://localhost:8344 -worker-name w2 -sessions-addr :0 &
+//	curl -s localhost:8344/v1/sessions -d '{"estimators":[{"kind":"paco"}]}'
 package main
 
 import (
@@ -100,9 +109,12 @@ func run() error {
 	sessionTTL := flag.Duration("session-ttl", 0, "evict estimator sessions idle this long (0 = default 5m)")
 	shards := flag.Int("shards", 0, "coordinator mode: split each sweep into up to N shards for federation workers (0 = execute locally)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: re-lease a shard this long after its worker goes silent")
+	routeSessions := flag.Bool("route-sessions", false, "coordinator mode: hash /v1/sessions across federation workers started with -sessions-addr, journaling chunks so sessions fail over when their worker dies")
 	coordinator := flag.String("coordinator", "", "worker mode: lease shards from this coordinator URL instead of serving")
 	workerName := flag.String("worker-name", "", "worker mode: name reported to the coordinator (default hostname-pid)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "worker mode: idle poll interval")
+	sessionsAddr := flag.String("sessions-addr", "", "worker mode: also serve /v1/sessions on this address and advertise it to the coordinator (port 0 picks a free port)")
+	advertise := flag.String("advertise", "", "worker mode: session URL to advertise instead of the bound -sessions-addr (for NAT or container networking)")
 	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
 
@@ -116,14 +128,38 @@ func run() error {
 		return err
 	}
 	if *coordinator != "" {
-		return runWorker(server.WorkerConfig{
+		wcfg := server.WorkerConfig{
 			Coordinator: *coordinator,
 			Name:        *workerName,
 			SimWorkers:  *simWorkers,
 			BatchK:      *batchK,
 			Poll:        *poll,
 			Log:         workerLog(logger, *quiet),
-		}, logger)
+		}
+		var sess *sessionServer
+		if *sessionsAddr != "" {
+			scfg := server.Config{
+				JobWorkers:         *jobWorkers,
+				SimWorkers:         *simWorkers,
+				CacheBytes:         *cacheMB << 20,
+				LogLevel:           levelVar,
+				SampleInterval:     *sampleEvery,
+				SessionMaxOpen:     *sessionMax,
+				SessionQueueEvents: *sessionQueue,
+				SessionTTL:         *sessionTTL,
+			}
+			if !*quiet {
+				scfg.Log = logger
+			}
+			var err error
+			sess, err = startSessionServer(*sessionsAddr, *advertise, scfg, *portFile)
+			if err != nil {
+				return err
+			}
+			wcfg.SessionsURL = sess.url
+			logger.Info("serving sessions", "addr", sess.bound, "advertise", sess.url)
+		}
+		return runWorker(wcfg, sess, logger)
 	}
 
 	cfg := server.Config{
@@ -135,6 +171,7 @@ func run() error {
 		CacheDir:       *cacheDir,
 		Shards:         *shards,
 		LeaseTTL:       *leaseTTL,
+		RouteSessions:  *routeSessions,
 		EnablePprof:    *pprofOn,
 		LogLevel:       levelVar,
 		SampleInterval: *sampleEvery,
@@ -208,17 +245,72 @@ func run() error {
 	}
 }
 
+// sessionServer is a worker's session-serving HTTP endpoint: the
+// /v1/sessions surface a routing coordinator proxies into, advertised
+// through the worker's lease polls.
+type sessionServer struct {
+	srv   *server.Server
+	http  *http.Server
+	ln    net.Listener
+	bound string
+	url   string
+}
+
+// startSessionServer binds and starts a worker-side session endpoint.
+// The advertised URL defaults to the bound address with an unspecified
+// host rewritten to a loopback one (":0" binds every interface, but
+// "http://[::]:port" is not dialable); portFile, when set, records the
+// bound address for scripts that need to scrape the worker directly.
+func startSessionServer(addr, advertise string, cfg server.Config, portFile string) (*sessionServer, error) {
+	s, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bound := ln.Addr().String()
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	url := advertise
+	if url == "" {
+		host, port, err := net.SplitHostPort(bound)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			host = "127.0.0.1"
+		}
+		url = "http://" + net.JoinHostPort(host, port)
+	}
+	s.Start()
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return &sessionServer{srv: s, http: hs, ln: ln, bound: bound, url: url}, nil
+}
+
 // runWorker is -coordinator mode: a lease/execute/post loop against a
 // remote coordinator, until SIGINT/SIGTERM. A signal mid-shard abandons
 // the shard (the coordinator re-leases it after -lease-ttl) — the
-// worker-death path the federation is tested against.
-func runWorker(cfg server.WorkerConfig, logger *slog.Logger) error {
+// worker-death path the federation is tested against. sess, when
+// non-nil, is the worker's session endpoint, served alongside the lease
+// loop and shut down with it.
+func runWorker(cfg server.WorkerConfig, sess *sessionServer, logger *slog.Logger) error {
 	w, err := server.NewWorker(cfg)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sessErr := make(chan error, 1)
+	if sess != nil {
+		go func() { sessErr <- sess.http.Serve(sess.ln) }()
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -229,6 +321,19 @@ func runWorker(cfg server.WorkerConfig, logger *slog.Logger) error {
 	logger.Info("worker leasing", "worker", w.Name(),
 		"coordinator", cfg.Coordinator, "version", version.Get().String())
 	w.Run(ctx)
+	if sess != nil {
+		// Graceful stop: open sessions close with their queues applied.
+		// A *killed* worker never reaches this path — that is the death
+		// the coordinator's journal-replay failover covers.
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelShutdown()
+		sess.http.SetKeepAlivesEnabled(false)
+		sess.http.Shutdown(shutdownCtx)
+		sess.srv.Close()
+		if err := <-sessErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("session server exited", "error", err)
+		}
+	}
 	logger.Info("worker done", "worker", w.Name(), "shards", w.ShardsDone())
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -274,6 +275,7 @@ func stream(args []string) error {
 	chunkSize := fs.Int("chunk", 64<<10, "ingest chunk size in bytes")
 	rate := fs.Float64("rate", 0, "pace ingest at this many events/sec (0 = as fast as the server accepts)")
 	interval := fs.Duration("interval", time.Second, "rolling score report period on stderr (0 disables)")
+	retryBudget := fs.Int("retry-budget", 10000, "abort after this many total 429 backpressure retries (0 = unlimited)")
 	fs.Parse(args)
 
 	if *chunkSize <= 0 {
@@ -297,8 +299,9 @@ func stream(args []string) error {
 		return err
 	}
 	opened := struct {
-		ID  string `json:"id"`
-		Key string `json:"key"`
+		ID     string `json:"id"`
+		Key    string `json:"key"`
+		Worker string `json:"worker"`
 	}{}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -308,8 +311,14 @@ func stream(args []string) error {
 	if err := json.Unmarshal(body, &opened); err != nil {
 		return fmt.Errorf("open session: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "session %s (key %.12s…): streaming %d bytes from %s\n",
-		opened.ID, opened.Key, len(raw), *in)
+	owner := ""
+	if opened.Worker != "" {
+		// A routing coordinator names the owning worker; scripts killing
+		// workers mid-stream (the CI failover smoke) grep this line.
+		owner = " on worker " + opened.Worker
+	}
+	fmt.Fprintf(os.Stderr, "session %s (key %.12s…)%s: streaming %d bytes from %s\n",
+		opened.ID, opened.Key, owner, len(raw), *in)
 
 	var (
 		start     = time.Now()
@@ -319,37 +328,18 @@ func stream(args []string) error {
 		chunks    int
 	)
 	eventsURL := *server + "/v1/sessions/" + opened.ID + "/events"
+	budget := *retryBudget
+	if budget == 0 {
+		budget = -1 // flag's "unlimited"; postChunk never exhausts a negative budget
+	}
 	for off := 0; off < len(raw); {
 		end := min(off+*chunkSize, len(raw))
-		chunk := raw[off:end]
-		// Retry the identical bytes on 429: the server rolled its decoder
-		// back, so the rejected chunk was not consumed and resending it
-		// loses and duplicates nothing.
-		for {
-			resp, err := http.Post(eventsURL, "application/octet-stream", bytes.NewReader(chunk))
-			if err != nil {
-				return err
-			}
-			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusTooManyRequests {
-				rejected++
-				time.Sleep(retryAfter(resp))
-				continue
-			}
-			if resp.StatusCode != http.StatusAccepted {
-				return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
-			}
-			var ack struct {
-				Accepted int `json:"accepted"`
-				Queued   int `json:"queued"`
-			}
-			if err := json.Unmarshal(body, &ack); err != nil {
-				return fmt.Errorf("ingest ack: %w", err)
-			}
-			accepted += ack.Accepted
-			break
+		n, retries, err := postChunk(eventsURL, raw[off:end], &budget)
+		rejected += retries
+		if err != nil {
+			return fmt.Errorf("chunk at offset %d: %w", off, err)
 		}
+		accepted += n
 		off = end
 		chunks++
 
@@ -388,13 +378,68 @@ func stream(args []string) error {
 	return err
 }
 
-// retryAfter reads a 429's Retry-After header (integer seconds),
-// defaulting to one second when absent or unparseable.
-func retryAfter(resp *http.Response) time.Duration {
-	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
-		return time.Duration(s) * time.Second
+// errBackpressureBudget aborts a stream whose server keeps answering
+// 429: the retry budget is a liveness guard, not pacing — a healthy
+// server drains its queue and accepts the retried chunk long before the
+// budget runs out.
+var errBackpressureBudget = errors.New("backpressure retry budget exhausted (-retry-budget)")
+
+// minRetryAfter floors the 429 backoff. Servers may hint "0" or a
+// sub-millisecond fraction (a queue expected to drain imminently), but
+// honoring that verbatim spins the client against a slow server.
+const minRetryAfter = 50 * time.Millisecond
+
+// postChunk posts one ingest chunk, retrying the identical bytes on
+// 429 backpressure: the server rolls its decoder back on reject, so the
+// re-sent chunk loses and duplicates nothing. Each retry decrements
+// *budget; exhausting it returns errBackpressureBudget (a negative
+// budget never runs out). Returns accepted events and retries consumed.
+func postChunk(eventsURL string, chunk []byte, budget *int) (accepted, retries int, err error) {
+	for {
+		resp, err := http.Post(eventsURL, "application/octet-stream", bytes.NewReader(chunk))
+		if err != nil {
+			return accepted, retries, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if *budget == 0 {
+				return accepted, retries, errBackpressureBudget
+			}
+			if *budget > 0 {
+				*budget--
+			}
+			retries++
+			time.Sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return accepted, retries, fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var ack struct {
+			Accepted int `json:"accepted"`
+			Queued   int `json:"queued"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return accepted, retries, fmt.Errorf("ingest ack: %w", err)
+		}
+		return accepted + ack.Accepted, retries, nil
 	}
-	return time.Second
+}
+
+// retryAfter reads a 429's Retry-After header as decimal seconds —
+// fractional hints are honored, not truncated to zero — clamped to
+// minRetryAfter, defaulting to one second when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+	if err != nil || s != s { // unparseable or NaN
+		return time.Second
+	}
+	d := time.Duration(s * float64(time.Second))
+	if d < minRetryAfter {
+		return minRetryAfter
+	}
+	return d
 }
 
 // printRolling reports one rolling-score line on w: the server-side

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterParsing pins the backoff contract for 429 hints: decimal
+// seconds honored, fractional values not truncated to zero, zero and
+// sub-floor hints clamped to minRetryAfter, and garbage defaulting to a
+// full second. The old integer-seconds parser turned "0.25" into the
+// 1s default and "0" into a hot spin — both wrong directions.
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"2", 2 * time.Second},
+		{"0.25", 250 * time.Millisecond},
+		{"0.5", 500 * time.Millisecond},
+		{"0", minRetryAfter},
+		{"0.001", minRetryAfter},
+		{"-3", minRetryAfter},
+		{"", time.Second},
+		{"soon", time.Second},
+		{"NaN", time.Second},
+	}
+	for _, tc := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		if got := retryAfter(resp); got != tc.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestPostChunkBudget exhausts the retry budget against a server that
+// never stops answering 429 and checks the abort is the named error
+// after exactly budget+1 attempts (the first post is free; only retries
+// spend budget).
+func TestPostChunkBudget(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Retry-After", "0") // clamped to minRetryAfter, keeps the test fast
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	budget := 3
+	_, retries, err := postChunk(ts.URL, []byte("chunk"), &budget)
+	if !errors.Is(err, errBackpressureBudget) {
+		t.Fatalf("err = %v, want errBackpressureBudget", err)
+	}
+	if retries != 3 || budget != 0 || hits != 4 {
+		t.Errorf("retries=%d budget=%d hits=%d, want 3/0/4", retries, budget, hits)
+	}
+}
+
+// TestPostChunkRetriesThenAccepts: a transient 429 run shorter than the
+// budget resolves to the eventual 202 ack, reporting both the accepted
+// count and the retries consumed.
+func TestPostChunkRetriesThenAccepts(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			w.Header().Set("Retry-After", "0.01")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"accepted":17,"queued":0}`)
+	}))
+	defer ts.Close()
+
+	budget := 10
+	accepted, retries, err := postChunk(ts.URL, []byte("chunk"), &budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 17 || retries != 2 || budget != 8 {
+		t.Errorf("accepted=%d retries=%d budget=%d, want 17/2/8", accepted, retries, budget)
+	}
+}
+
+// TestPostChunkUnlimitedBudget: a negative budget (the -retry-budget 0
+// spelling) survives more 429s than any positive budget would and never
+// trips the named error.
+func TestPostChunkUnlimitedBudget(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 5 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"accepted":1,"queued":0}`)
+	}))
+	defer ts.Close()
+
+	budget := -1
+	accepted, retries, err := postChunk(ts.URL, []byte("chunk"), &budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 1 || retries != 5 || budget != -1 {
+		t.Errorf("accepted=%d retries=%d budget=%d, want 1/5/-1", accepted, retries, budget)
+	}
+}
+
+// TestPostChunkHardError: a non-429 failure surfaces the status and
+// body without spending budget.
+func TestPostChunkHardError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "session: no such session", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	budget := 5
+	_, retries, err := postChunk(ts.URL, []byte("chunk"), &budget)
+	if err == nil || retries != 0 || budget != 5 {
+		t.Fatalf("err=%v retries=%d budget=%d, want error with 0 retries and intact budget", err, retries, budget)
+	}
+	if errors.Is(err, errBackpressureBudget) {
+		t.Fatal("hard error misreported as budget exhaustion")
+	}
+}

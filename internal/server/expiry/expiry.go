@@ -79,6 +79,42 @@ func (t *Tracker) Expired(now time.Time) []string {
 	return keys
 }
 
+// Candidates returns every key whose last touch is at least one TTL
+// before now, sorted, WITHOUT removing anything — the first half of a
+// two-phase sweep. Unlike Expired, listing a key here claims nothing:
+// the caller must confirm each candidate with ExpireIf under the same
+// lock that serializes its own Touch callers, so an entry touched after
+// the listing survives the sweep instead of being evicted on a stale
+// verdict.
+func (t *Tracker) Candidates(now time.Time) []string {
+	t.mu.Lock()
+	var keys []string
+	for key, at := range t.last {
+		if now.Sub(at) >= t.ttl {
+			keys = append(keys, key)
+		}
+	}
+	t.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// ExpireIf removes key and reports true only if it is still tracked and
+// still expired at now — the second half of a two-phase sweep. A key
+// that was Touched after Candidates listed it is no longer expired, so
+// ExpireIf leaves it tracked and returns false; likewise a key already
+// Forgotten returns false.
+func (t *Tracker) ExpireIf(key string, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at, ok := t.last[key]
+	if !ok || now.Sub(at) < t.ttl {
+		return false
+	}
+	delete(t.last, key)
+	return true
+}
+
 // Oldest returns the age of the least recently touched key at now, or
 // zero when nothing is tracked — the federation's oldest-lease-age
 // gauge.

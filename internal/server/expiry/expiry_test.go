@@ -74,6 +74,59 @@ func TestOldest(t *testing.T) {
 	}
 }
 
+// TestSweepVsTouchInterleaving pins the two-phase sweep ordering fix:
+// a key Touched after Candidates listed it must not be claimed by the
+// ExpireIf that follows — the in-progress sweep loses to the renewal.
+// This is the exact interleaving the single-call Expired API could not
+// express: it removed keys at listing time, so a Touch landing between
+// the listing and the eviction renewed an entry the sweeper was already
+// committed to destroying.
+func TestSweepVsTouchInterleaving(t *testing.T) {
+	tr := New(time.Minute)
+	t0 := time.Unix(0, 0)
+	tr.Touch("s", t0)
+	tr.Touch("idle", t0)
+
+	// Phase 1 of the sweep: both keys are candidates, nothing removed.
+	now := t0.Add(time.Minute)
+	got := tr.Candidates(now)
+	if want := []string{"idle", "s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Candidates must not remove; Len = %d, want 2", tr.Len())
+	}
+
+	// The client touches "s" while the sweep is in flight.
+	tr.Touch("s", now)
+
+	// Phase 2: the sweep's claim on the renewed key must fail...
+	if tr.ExpireIf("s", now) {
+		t.Fatal("ExpireIf claimed a key touched after Candidates listed it")
+	}
+	if _, ok := tr.Remaining("s", now); !ok {
+		t.Fatal("losing ExpireIf must leave the key tracked")
+	}
+	// ...while the untouched candidate is claimed exactly once.
+	if !tr.ExpireIf("idle", now) {
+		t.Fatal("ExpireIf refused a still-expired candidate")
+	}
+	if tr.ExpireIf("idle", now) {
+		t.Fatal("ExpireIf claimed the same key twice")
+	}
+	if tr.ExpireIf("never-seen", now) {
+		t.Fatal("ExpireIf claimed an untracked key")
+	}
+
+	// The renewed key expires one full TTL after its renewal.
+	if got := tr.Candidates(now.Add(59 * time.Second)); len(got) != 0 {
+		t.Fatalf("renewed key listed early: %v", got)
+	}
+	if !tr.ExpireIf("s", now.Add(time.Minute)) {
+		t.Fatal("renewed key should expire a TTL after the renewal")
+	}
+}
+
 func TestNewRejectsNonPositiveTTL(t *testing.T) {
 	defer func() {
 		if recover() == nil {

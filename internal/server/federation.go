@@ -51,6 +51,12 @@ type LeaseRequest struct {
 	// Worker names the requester; the coordinator tracks liveness and
 	// attribution per name.
 	Worker string `json:"worker"`
+	// SessionsURL, when set, advertises the base URL of the worker's
+	// session-serving HTTP endpoint. Lease polls double as heartbeats,
+	// so advertising here keeps the session router's view of live
+	// session workers exactly as fresh as the federation's view of
+	// lease-eligible workers — one registry, two consumers.
+	SessionsURL string `json:"sessions_url,omitempty"`
 }
 
 // ShardLease is a granted lease: one shard of one campaign, held by one
@@ -170,9 +176,10 @@ func (d *distCampaign) fail(err error) {
 // name it leases under. Every lease request and result post refreshes
 // lastSeen.
 type workerState struct {
-	lastSeen  time.Time
-	leased    uint64
-	completed uint64
+	lastSeen    time.Time
+	leased      uint64
+	completed   uint64
+	sessionsURL string // session endpoint advertised in lease polls ("" = none)
 }
 
 // federation is the coordinator state machine. All fields behind mu; the
@@ -440,14 +447,19 @@ func short(id string) string {
 	return id
 }
 
-// lease grants the next pending shard to the named worker, or reports
-// none available.
-func (f *federation) lease(workerName string) (ShardLease, bool) {
-	workerName = canonicalWorker(workerName)
+// lease grants the next pending shard to the requesting worker, or
+// reports none available. Beyond granting shards, the call is the
+// worker's heartbeat: it refreshes liveness and records the session
+// endpoint the worker advertises (if any) for the session router.
+func (f *federation) lease(req LeaseRequest) (ShardLease, bool) {
+	workerName := canonicalWorker(req.Worker)
 	now := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	w := f.touchWorkerLocked(workerName, now)
+	if req.SessionsURL != "" {
+		w.sessionsURL = req.SessionsURL
+	}
 	f.expireLocked(now)
 	for len(f.pending) > 0 {
 		t := f.pending[0]
@@ -595,6 +607,33 @@ func (f *federation) result(shardID string, post ShardResultPost) (int, string) 
 		t.dist.finishShard(t.ordinal, shardID, post.Results)
 	}
 	return 200, "ok"
+}
+
+// sessionEndpoint is one live worker's advertised session-serving
+// endpoint, as seen by the session router.
+type sessionEndpoint struct {
+	name string
+	url  string
+}
+
+// sessionEndpoints returns the live workers that advertise a session
+// endpoint, sorted by name so rendezvous hashing sees a stable universe.
+// Liveness is the same lastSeen-within-liveness rule stats() applies:
+// lease polls are heartbeats, so a worker that stops polling drops out
+// of the routing universe within one liveness window.
+func (f *federation) sessionEndpoints() []sessionEndpoint {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var eps []sessionEndpoint
+	for name, w := range f.workers {
+		if w.sessionsURL == "" || now.Sub(w.lastSeen) > f.liveness {
+			continue
+		}
+		eps = append(eps, sessionEndpoint{name: name, url: w.sessionsURL})
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].name < eps[j].name })
+	return eps
 }
 
 // WorkerStat is one worker's federation record, exported by /metrics and

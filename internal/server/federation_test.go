@@ -58,7 +58,7 @@ func TestFederationLeaseProtocol(t *testing.T) {
 	// Two shards: [0,3) and [3,5).
 	var leases []ShardLease
 	for len(leases) < 2 {
-		if lease, ok := f.lease("w1"); ok {
+		if lease, ok := f.lease(LeaseRequest{Worker: "w1"}); ok {
 			leases = append(leases, lease)
 		} else {
 			time.Sleep(time.Millisecond)
@@ -70,7 +70,7 @@ func TestFederationLeaseProtocol(t *testing.T) {
 	if leases[0].Campaign != "c-1" || leases[0].Grid != nil {
 		t.Fatalf("lease %+v, want campaign c-1 without a grid", leases[0])
 	}
-	if _, ok := f.lease("w2"); ok {
+	if _, ok := f.lease(LeaseRequest{Worker: "w2"}); ok {
 		t.Fatal("a third lease appeared for a 2-shard campaign")
 	}
 
@@ -116,7 +116,7 @@ func TestFederationExpiryRetriesAndFailure(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	var leases int
 	for {
-		if lease, ok := f.lease("flaky"); ok {
+		if lease, ok := f.lease(LeaseRequest{Worker: "flaky"}); ok {
 			leases++
 			if lease.Lo != 0 || lease.Hi != 2 {
 				t.Fatalf("re-leased shard changed range: %+v", lease)
@@ -166,7 +166,7 @@ func TestFederationRenewalKeepsSlowShardAlive(t *testing.T) {
 	var lease ShardLease
 	for {
 		var ok bool
-		if lease, ok = f.lease("slowpoke"); ok {
+		if lease, ok = f.lease(LeaseRequest{Worker: "slowpoke"}); ok {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -180,7 +180,7 @@ func TestFederationRenewalKeepsSlowShardAlive(t *testing.T) {
 		}
 		// Another worker checking in triggers lazy expiry; the renewed
 		// lease must never be re-queued.
-		if stolen, ok := f.lease("other"); ok {
+		if stolen, ok := f.lease(LeaseRequest{Worker: "other"}); ok {
 			t.Fatalf("renewed shard was re-leased to another worker: %+v", stolen)
 		}
 	}
@@ -214,7 +214,7 @@ func TestFederationMalformedResultRequeues(t *testing.T) {
 	var lease ShardLease
 	for {
 		var ok bool
-		if lease, ok = f.lease("w1"); ok {
+		if lease, ok = f.lease(LeaseRequest{Worker: "w1"}); ok {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -224,7 +224,7 @@ func TestFederationMalformedResultRequeues(t *testing.T) {
 	}); code != 422 {
 		t.Fatalf("short result post returned %d, want 422", code)
 	}
-	release, ok := f.lease("w2")
+	release, ok := f.lease(LeaseRequest{Worker: "w2"})
 	if !ok {
 		t.Fatal("shard was not re-queued after the malformed post")
 	}

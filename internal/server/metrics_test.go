@@ -59,6 +59,13 @@ var newMetricNames = []string{
 	"paco_session_backpressure_total",
 	"paco_session_ingest_duration_seconds",
 	"paco_session_apply_batch_events",
+	"paco_session_routed_open",
+	"paco_session_routed_journal_bytes",
+	"paco_session_routed_opened_total",
+	"paco_session_routed_closed_total",
+	"paco_session_routed_chunks_total",
+	"paco_session_failover_total",
+	"paco_session_failover_replayed_chunks_total",
 	"paco_sim_job_kcycles_per_sec",
 	"paco_flight_spans_recorded_total",
 	"paco_flight_spans_active",

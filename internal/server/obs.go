@@ -54,6 +54,15 @@ type serverObs struct {
 	// writes into (paco_session_*); the open/queued gauges scrape the
 	// table directly.
 	sessionMetrics session.Metrics
+
+	// Session-router instruments (paco_session_routed_* and
+	// paco_session_failover_*): written by sessionrouter.go when
+	// Config.RouteSessions is on, flat zero otherwise.
+	routedOpened     *obs.Counter
+	routedClosed     *obs.CounterVec
+	routedChunks     *obs.Counter
+	failovers        *obs.Counter
+	failoverReplayed *obs.Counter
 }
 
 // newServerObs builds the registry and instruments for one server. The
@@ -187,6 +196,33 @@ func newServerObs(s *Server, logger *slog.Logger, flightSpans int) *serverObs {
 		ApplyBatch: r.Histogram("paco_session_apply_batch_events",
 			"Events applied per session shard-worker drain.", obs.ExpBuckets(1, 4, 9)),
 	}
+	// Session-router families. The gauges read the router at scrape
+	// time and report zero when Config.RouteSessions is off (the router
+	// is wired right after newServerObs returns, like the table above).
+	r.GaugeFunc("paco_session_routed_open", "Routed estimator sessions currently live on federation workers.",
+		func() float64 {
+			if s.router == nil {
+				return 0
+			}
+			return float64(s.router.open())
+		})
+	r.GaugeFunc("paco_session_routed_journal_bytes", "Bytes of acknowledged chunks journaled for routed-session failover.",
+		func() float64 {
+			if s.router == nil {
+				return 0
+			}
+			return float64(s.router.journalBytes.Load())
+		})
+	o.routedOpened = r.Counter("paco_session_routed_opened_total",
+		"Routed estimator sessions opened on federation workers.")
+	o.routedClosed = r.CounterVec("paco_session_routed_closed_total",
+		"Routed estimator sessions closed, by reason (client, evicted).", "reason")
+	o.routedChunks = r.Counter("paco_session_routed_chunks_total",
+		"Ingest chunks acknowledged by session workers and journaled.")
+	o.failovers = r.Counter("paco_session_failover_total",
+		"Routed sessions re-homed to a surviving worker after their owner died.")
+	o.failoverReplayed = r.Counter("paco_session_failover_replayed_chunks_total",
+		"Journaled chunks replayed into re-homed sessions during failover.")
 	r.CounterFunc("paco_flight_spans_recorded_total", "Spans committed to the flight recorder.",
 		func() float64 { return float64(o.rec.Recorded()) })
 	r.GaugeFunc("paco_flight_spans_active", "Spans started but not yet ended.",

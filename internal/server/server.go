@@ -96,6 +96,17 @@ type Config struct {
 	SessionTTL         time.Duration
 	SessionSweep       time.Duration
 
+	// RouteSessions turns this server into a session-routing
+	// coordinator: /v1/sessions requests are rendezvous-hashed across
+	// the federation workers that advertise a session endpoint in their
+	// lease polls, proxied to the owning worker, and journaled so a
+	// worker death mid-session fails over to a survivor by replaying the
+	// journal (DESIGN.md §6b). The local session table stays constructed
+	// (its metrics read zero) but unreachable over HTTP. Requires
+	// workers started with a session endpoint (paco-serve
+	// -sessions-addr); with no live endpoints, session opens answer 503.
+	RouteSessions bool
+
 	// Experiments scales the /v1/experiments reports (nil selects
 	// experiments.Default(), the scale cmd/paco-repro runs at).
 	Experiments *experiments.Config
@@ -134,6 +145,7 @@ type Server struct {
 	cache    *Cache
 	fed      *federation
 	sessions *session.Table
+	router   *sessionRouter // non-nil iff cfg.RouteSessions
 	mux      *http.ServeMux
 	obs      *serverObs
 
@@ -233,6 +245,9 @@ func New(cfg Config) (*Server, error) {
 		Recorder:        s.obs.rec,
 		Log:             s.obs.log,
 	})
+	if cfg.RouteSessions {
+		s.router = newSessionRouter(s.fed, s.obs, cfg.SessionTTL, cfg.SessionSweep)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -241,11 +256,19 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
 	mux.HandleFunc("POST /v1/shards/{id}/renew", s.handleShardRenew)
 	mux.HandleFunc("POST /v1/shards/{id}/result", s.handleShardResult)
-	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
-	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
-	mux.HandleFunc("GET /v1/sessions/{id}/scores", s.handleSessionScores)
-	mux.HandleFunc("GET /v1/sessions/{id}/live", s.handleSessionLive)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	if s.router != nil {
+		mux.HandleFunc("POST /v1/sessions", s.router.handleOpen)
+		mux.HandleFunc("POST /v1/sessions/{id}/events", s.router.handleEvents)
+		mux.HandleFunc("GET /v1/sessions/{id}/scores", s.router.handleScores)
+		mux.HandleFunc("GET /v1/sessions/{id}/live", s.router.handleLive)
+		mux.HandleFunc("DELETE /v1/sessions/{id}", s.router.handleClose)
+	} else {
+		mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+		mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+		mux.HandleFunc("GET /v1/sessions/{id}/scores", s.handleSessionScores)
+		mux.HandleFunc("GET /v1/sessions/{id}/live", s.handleSessionLive)
+		mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	}
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
@@ -261,6 +284,9 @@ func (s *Server) Start() {
 	s.wg.Add(s.cfg.JobWorkers)
 	for i := 0; i < s.cfg.JobWorkers; i++ {
 		go s.worker()
+	}
+	if s.router != nil {
+		s.router.start()
 	}
 	if s.obs.ts != nil {
 		s.obs.ts.Start()
@@ -283,6 +309,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	if s.router != nil {
+		s.router.shutdown()
+	}
 	s.sessions.Shutdown()
 	if s.obs.ts != nil {
 		s.obs.ts.Close()
@@ -666,7 +695,7 @@ func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "parsing lease request: %v", err)
 		return
 	}
-	lease, ok := s.fed.lease(req.Worker)
+	lease, ok := s.fed.lease(req)
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return

@@ -71,6 +71,19 @@ type Config struct {
 	// it quick and synchronized.
 	OnLease func(worker string, lease server.ShardLease)
 
+	// SessionWorkers gives every worker its own session-serving HTTP
+	// sub-server, advertised to the coordinator through lease polls —
+	// the topology the session router (Config.RouteSessions on the
+	// coordinator) hashes sessions across. KillWorker then models real
+	// worker death: the sub-server's connections are severed abruptly,
+	// so proxied requests in flight fail at the transport.
+	SessionWorkers bool
+
+	// WorkerSessionTTL is the session-worker tables' idle TTL (default
+	// 10m — comfortably above the coordinator's routed-session TTL, so
+	// the coordinator's sweep owns eviction, per DESIGN.md §6b).
+	WorkerSessionTTL time.Duration
+
 	// Server overrides the coordinator configuration (Shards and lease
 	// timing fields are filled from this Config when unset).
 	Server server.Config
@@ -98,6 +111,23 @@ type workerHandle struct {
 	name   string
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// Session sub-server (Config.SessionWorkers only).
+	sessSrv  *server.Server
+	sessHTTP *httptest.Server
+}
+
+// killSessions tears the worker's session sub-server down abruptly:
+// live connections (including the coordinator's proxied SSE streams)
+// are severed first, so the router observes a mid-stream transport
+// failure, not a graceful drain.
+func (h *workerHandle) killSessions() {
+	if h.sessHTTP == nil {
+		return
+	}
+	h.sessHTTP.CloseClientConnections()
+	h.sessHTTP.Close()
+	h.sessSrv.Close()
 }
 
 // New starts a coordinator and cfg.Workers workers and registers
@@ -176,6 +206,27 @@ func (c *Cluster) StartWorker() string {
 			}
 		},
 	}
+	var sessSrv *server.Server
+	var sessHTTP *httptest.Server
+	if c.cfg.SessionWorkers {
+		ttl := c.cfg.WorkerSessionTTL
+		if ttl == 0 {
+			ttl = 10 * time.Minute
+		}
+		ss, err := server.New(server.Config{
+			JobWorkers:     1,
+			CacheBytes:     1 << 20,
+			SessionTTL:     ttl,
+			SampleInterval: -1, // no sampler goroutine per worker
+			FlightSpans:    -1,
+		})
+		if err != nil {
+			c.t.Fatalf("servertest: building session server for %s: %v", name, err)
+		}
+		ss.Start()
+		sessSrv, sessHTTP = ss, httptest.NewServer(ss.Handler())
+		wcfg.SessionsURL = sessHTTP.URL
+	}
 	// Workers record spans and per-cell timings into the coordinator's
 	// flight recorder and histograms, so one /debug/flight snapshot holds
 	// the whole cluster's lease → execute → cell chain.
@@ -185,7 +236,8 @@ func (c *Cluster) StartWorker() string {
 		c.t.Fatalf("servertest: building worker %s: %v", name, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	h := &workerHandle{name: name, cancel: cancel, done: make(chan struct{})}
+	h := &workerHandle{name: name, cancel: cancel, done: make(chan struct{}),
+		sessSrv: sessSrv, sessHTTP: sessHTTP}
 	go func() {
 		defer close(h.done)
 		w.Run(ctx)
@@ -198,7 +250,10 @@ func (c *Cluster) StartWorker() string {
 
 // KillWorker cancels the named worker's context and waits for its loop
 // to exit. A worker killed while executing a shard abandons it
-// unposted; the coordinator's lease expiry re-queues the work.
+// unposted; the coordinator's lease expiry re-queues the work. With
+// SessionWorkers, the worker's session sub-server dies with it —
+// connections severed abruptly — so routed sessions it owned must fail
+// over by journal replay.
 func (c *Cluster) KillWorker(name string) {
 	c.mu.Lock()
 	h := c.workers[name]
@@ -209,6 +264,7 @@ func (c *Cluster) KillWorker(name string) {
 	}
 	h.cancel()
 	<-h.done
+	h.killSessions()
 }
 
 // Close kills every worker and shuts the coordinator down. Registered
@@ -232,6 +288,7 @@ func (c *Cluster) Close() {
 	}
 	for _, h := range handles {
 		<-h.done
+		h.killSessions()
 	}
 	c.HTTP.Close()
 	c.Server.Close()

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -27,48 +26,11 @@ import (
 // shapes without making -race apply cost dominate the test.
 const soakSpec = `{"estimators":[{"kind":"paco","refresh":128},{"kind":"count"}]}`
 
-// soakEvents synthesizes one client's deterministic event stream (same
-// shape as the session package's generator: fetches open tags,
-// resolves/squashes close them, retires train, cycles tick).
+// soakEvents synthesizes one client's deterministic event stream — the
+// session package's shared generator, so the soak, the routing chaos
+// suite, and the paco-obs load generator all stream the same shape.
 func soakEvents(seed int64, n int) []trace.Event {
-	rng := rand.New(rand.NewSource(seed))
-	var evs []trace.Event
-	var open []uint64
-	nextTag := uint64(1)
-	cycle := uint64(0)
-	for len(evs) < n {
-		switch r := rng.Intn(10); {
-		case r < 4:
-			ev := trace.Event{Kind: trace.EvFetch, Tag: nextTag,
-				PC: 0x4000 + uint64(rng.Intn(64))*4, History: uint32(rng.Intn(1 << 12)), MDC: uint8(rng.Intn(16))}
-			if rng.Intn(4) != 0 {
-				ev.Flags |= 1
-			}
-			open = append(open, nextTag)
-			nextTag++
-			evs = append(evs, ev)
-		case r < 7 && len(open) > 0:
-			i := rng.Intn(len(open))
-			tag := open[i]
-			open = append(open[:i], open[i+1:]...)
-			kind := trace.EvResolve
-			if rng.Intn(5) == 0 {
-				kind = trace.EvSquash
-			}
-			evs = append(evs, trace.Event{Kind: kind, Tag: tag})
-		case r < 9:
-			ev := trace.Event{Kind: trace.EvRetire,
-				PC: 0x4000 + uint64(rng.Intn(64))*4, History: uint32(rng.Intn(1 << 12)), MDC: uint8(rng.Intn(16)), Flags: 1}
-			if rng.Intn(5) != 0 {
-				ev.Flags |= 2
-			}
-			evs = append(evs, ev)
-		default:
-			cycle += 64
-			evs = append(evs, trace.Event{Kind: trace.EvCycle, PC: cycle})
-		}
-	}
-	return evs
+	return session.SyntheticEvents(seed, n)
 }
 
 func soakTraceBytes(t *testing.T, evs []trace.Event) []byte {

@@ -24,10 +24,16 @@ import (
 // the same encoder as every other endpoint so they are byte-comparable
 // to `paco-trace replay -scores` output for the same events.
 //
-// Error mapping: unknown session 404, format mix-up 409, full queue 429
-// with Retry-After (the chunk was not consumed — retry the identical
-// bytes), table full or shutting down 503, everything else a client
-// error 400.
+// Error mapping: unknown session 404, recently closed session 410 with
+// the close reason (so a DELETE racing the idle sweeper sees a
+// deterministic "gone: evicted" instead of a flaky not-found), format
+// mix-up 409, full queue 429 with Retry-After (the chunk was not
+// consumed — retry the identical bytes), table full or shutting down
+// 503, everything else a client error 400.
+//
+// With Config.RouteSessions the whole surface is served by the session
+// router instead (see sessionrouter.go): same contract, but the session
+// lives on a federation worker and survives that worker's death.
 
 // maxSessionChunk bounds one ingest chunk's wire size (4 MiB ≈ 190k
 // binary records). The per-session queue bound is separate and governs
@@ -35,11 +41,14 @@ import (
 // how far past the queue's high-water mark a single chunk can land.
 const maxSessionChunk = 4 << 20
 
-// sessionOpened is the POST /v1/sessions response.
+// sessionOpened is the POST /v1/sessions response. Worker names the
+// owning federation worker when the session was routed (empty — and
+// omitted — for sessions served by the local table).
 type sessionOpened struct {
-	ID   string       `json:"id"`
-	Key  string       `json:"key"`
-	Spec session.Spec `json:"spec"`
+	ID     string       `json:"id"`
+	Key    string       `json:"key"`
+	Spec   session.Spec `json:"spec"`
+	Worker string       `json:"worker,omitempty"`
 }
 
 // sessionIngested is the POST /v1/sessions/{id}/events response:
@@ -119,8 +128,8 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		var bp *session.BackpressureError
 		var fe *session.FormatError
 		switch {
-		case errors.Is(err, session.ErrNotFound):
-			errorJSON(w, http.StatusNotFound, "%v", err)
+		case isSessionMiss(err):
+			errorJSON(w, sessionMissStatus(err), "%v", err)
 		case errors.As(err, &bp):
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(bp.RetryAfter)))
 			errorJSON(w, http.StatusTooManyRequests, "%v", err)
@@ -143,12 +152,30 @@ func retryAfterSeconds(d time.Duration) int {
 	return int(math.Ceil(d.Seconds()))
 }
 
+// isSessionMiss reports whether err is a session-lookup miss, and
+// sessionMissStatus distinguishes its two deterministic verdicts: 404
+// for an ID the table never issued, 410 (with the close reason in the
+// body) for a session that existed and has since closed — the verdict a
+// DELETE racing the idle sweeper must see.
+func isSessionMiss(err error) bool {
+	var gone *session.GoneError
+	return errors.Is(err, session.ErrNotFound) || errors.As(err, &gone)
+}
+
+func sessionMissStatus(err error) int {
+	var gone *session.GoneError
+	if errors.As(err, &gone) {
+		return http.StatusGone
+	}
+	return http.StatusNotFound
+}
+
 // handleSessionScores is GET /v1/sessions/{id}/scores: a point-in-time
 // snapshot (and an activity signal to the idle sweeper).
 func (s *Server) handleSessionScores(w http.ResponseWriter, r *http.Request) {
 	sc, err := s.sessions.Scores(r.PathValue("id"))
 	if err != nil {
-		errorJSON(w, http.StatusNotFound, "%v", err)
+		errorJSON(w, sessionMissStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sc)
@@ -162,7 +189,7 @@ func (s *Server) handleSessionScores(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionLive(w http.ResponseWriter, r *http.Request) {
 	ch, cancel, err := s.sessions.Subscribe(r.PathValue("id"))
 	if err != nil {
-		errorJSON(w, http.StatusNotFound, "%v", err)
+		errorJSON(w, sessionMissStatus(err), "%v", err)
 		return
 	}
 	defer cancel()
@@ -200,7 +227,7 @@ func (s *Server) handleSessionLive(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	final, err := s.sessions.Close(r.PathValue("id"), session.CloseClient)
 	if err != nil {
-		errorJSON(w, http.StatusNotFound, "%v", err)
+		errorJSON(w, sessionMissStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, final)

@@ -3,12 +3,14 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -260,12 +262,13 @@ func TestSessionStreamingDeterminism(t *testing.T) {
 		t.Fatalf("streamed final scores differ from offline replay:\n got %s\nwant %s", body, want)
 	}
 
-	// The session is gone afterwards.
-	if _, status := getScores(t, ts, opened.ID); status != http.StatusNotFound {
-		t.Fatalf("scores after close → %d, want 404", status)
+	// The session is gone afterwards: 410 naming the close reason, not
+	// the 404 an ID the table never issued gets.
+	if _, status := getScores(t, ts, opened.ID); status != http.StatusGone {
+		t.Fatalf("scores after close → %d, want 410", status)
 	}
-	if _, status := closeSession(t, ts, opened.ID); status != http.StatusNotFound {
-		t.Fatalf("double close → %d, want 404", status)
+	if body, status := closeSession(t, ts, opened.ID); status != http.StatusGone || !bytes.Contains(body, []byte("client")) {
+		t.Fatalf("double close → %d: %s, want 410 naming reason client", status, body)
 	}
 }
 
@@ -503,15 +506,123 @@ func TestSessionLiveSSE(t *testing.T) {
 		t.Fatalf("stream did not end after final event: %v", err)
 	}
 
-	// Subscribing to a closed session is a 404.
+	// Subscribing to a closed session is a 410 (the table remembers the
+	// close).
 	resp2, err := http.Get(ts.URL + "/v1/sessions/" + opened.ID + "/live")
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp2.Body)
 	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusNotFound {
-		t.Fatalf("live on closed session → %d, want 404", resp2.StatusCode)
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("live on closed session → %d, want 410", resp2.StatusCode)
+	}
+}
+
+// TestSessionLiveEvictionFinal covers the other way a session ends: the
+// idle sweeper, not a DELETE. A live SSE subscriber must still receive
+// the terminal "final" event (no dropped terminal), and afterwards every
+// route answers the deterministic 410 status table with reason
+// "evicted" — the DELETE-vs-sweeper race pinned over HTTP.
+func TestSessionLiveEvictionFinal(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20,
+		SessionTTL: 150 * time.Millisecond, SessionSweep: 10 * time.Millisecond})
+	evs := genSessionEvents(21, 300)
+
+	opened := openSession(t, ts, sessionSpecJSON)
+	if status, _, _ := postChunk(t, ts, opened.ID, "application/x-ndjson", ndjsonBytes(t, evs)); status != http.StatusAccepted {
+		t.Fatalf("ingest → %d", status)
+	}
+
+	// Subscribe and go quiet: reading /live is not activity, so the
+	// sweeper evicts ~one TTL after the ingest above.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + opened.ID + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	var final session.Scores
+	for {
+		name, sc := readSSEScores(t, br)
+		if name == "final" {
+			final = sc
+			break
+		}
+		if name != "scores" {
+			t.Fatalf("unexpected SSE event %q", name)
+		}
+	}
+	if !final.Final || final.Events != uint64(len(evs)) {
+		t.Fatalf("eviction final snapshot = %+v, want Final with %d events", final, len(evs))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("stream did not end after eviction final: %v", err)
+	}
+
+	// The status table, while the tombstone is fresh: a client whose
+	// DELETE lost the race to the sweeper gets 410 naming "evicted" on
+	// every route, never a flaky 404.
+	if body, status := closeSession(t, ts, opened.ID); status != http.StatusGone || !bytes.Contains(body, []byte("evicted")) {
+		t.Fatalf("DELETE after eviction → %d: %s, want 410 naming reason evicted", status, body)
+	}
+	if _, status := getScores(t, ts, opened.ID); status != http.StatusGone {
+		t.Fatalf("scores after eviction → %d, want 410", status)
+	}
+	if status, _, _ := postChunk(t, ts, opened.ID, "application/x-ndjson", []byte("{}\n")); status != http.StatusGone {
+		t.Fatalf("ingest after eviction → %d, want 410", status)
+	}
+	respLive, err := http.Get(ts.URL + "/v1/sessions/" + opened.ID + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respLive.Body)
+	respLive.Body.Close()
+	if respLive.StatusCode != http.StatusGone {
+		t.Fatalf("live after eviction → %d, want 410", respLive.StatusCode)
+	}
+}
+
+// TestSessionLiveClientDisconnect: a client that walks away from /live
+// mid-stream must not leak the handler goroutine or its subscription,
+// and the session stays fully usable and closeable.
+func TestSessionLiveClientDisconnect(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, QueueSize: 4, CacheBytes: 1 << 20})
+
+	// Baseline after the server (and its fixed goroutines) is up: the
+	// leak check isolates what the SSE subscription itself spawned.
+	opened := openSession(t, ts, sessionSpecJSON)
+	baseline := runtime.NumGoroutine()
+	ctx, cancelReq := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/sessions/"+opened.ID+"/live", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if name, _ := readSSEScores(t, br); name != "scores" {
+		t.Fatalf("priming event = %q", name)
+	}
+	cancelReq() // the client vanishes mid-stream
+	resp.Body.Close()
+
+	// The handler goroutine (and the table's subscriber slot) must drain.
+	deadline := time.Now().Add(15 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after SSE disconnect: %d alive, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The session did not notice: it still ingests and closes cleanly.
+	if status, _, _ := postChunk(t, ts, opened.ID, "application/x-ndjson", []byte(`{"kind":"cycle","cycle":64}`+"\n")); status != http.StatusAccepted {
+		t.Fatalf("ingest after subscriber disconnect → %d", status)
+	}
+	if _, status := closeSession(t, ts, opened.ID); status != http.StatusOK {
+		t.Fatalf("close after subscriber disconnect → %d", status)
 	}
 }
 

@@ -56,6 +56,12 @@ type WorkerConfig struct {
 	// (default 500ms).
 	Poll time.Duration
 
+	// SessionsURL, when nonempty, is the base URL of a session-serving
+	// HTTP endpoint this process exposes (paco-serve -sessions-addr).
+	// The worker advertises it in every lease poll, which doubles as the
+	// heartbeat a session-routing coordinator uses to pick live owners.
+	SessionsURL string
+
 	// HTTPClient overrides the transport (tests inject chaos here).
 	HTTPClient *http.Client
 
@@ -305,7 +311,7 @@ func (w *Worker) renewLoop(ctx context.Context, lease ShardLease, every time.Dur
 }
 
 func (w *Worker) lease(ctx context.Context) (ShardLease, bool, error) {
-	body, _ := json.Marshal(LeaseRequest{Worker: w.cfg.Name})
+	body, _ := json.Marshal(LeaseRequest{Worker: w.cfg.Name, SessionsURL: w.cfg.SessionsURL})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.cfg.Coordinator+"/v1/shards/lease", bytes.NewReader(body))
 	if err != nil {

@@ -1,0 +1,118 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"paco/internal/trace"
+)
+
+// TestJournalBinaryRoundTrip: chunks split at arbitrary (record-
+// misaligned) boundaries decode back to the original event stream, and
+// Replay of the journal is byte-equal in structure to offline Replay of
+// the same trace — the failover identity the router depends on.
+func TestJournalBinaryRoundTrip(t *testing.T) {
+	evs := genEvents(17, 3000)
+	raw := serialize(t, evs)
+	spec := allKindsSpec()
+
+	j := NewJournal()
+	const chunk = 997 // coprime with the 23-byte record size
+	for off := 0; off < len(raw); off += chunk {
+		end := off + chunk
+		if end > len(raw) {
+			end = len(raw)
+		}
+		// Reuse one buffer across appends: Append must copy.
+		buf := append([]byte(nil), raw[off:end]...)
+		if err := j.Append(FormatBinary, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+	}
+	if j.Format() != FormatBinary || j.Bytes() != len(raw) {
+		t.Fatalf("journal format=%q bytes=%d, want binary/%d", j.Format(), j.Bytes(), len(raw))
+	}
+
+	got, err := j.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("journal decoded %d events, want the original %d", len(got), len(evs))
+	}
+
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Replay(r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := j.Replay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, offline) {
+		t.Fatalf("journal replay diverges from offline replay:\n journal %+v\n offline %+v", replayed, offline)
+	}
+}
+
+// TestJournalNDJSONPartialLines: chunk boundaries mid-line stitch back
+// together, and a final unterminated line is accepted — the same
+// contract as the ingest path.
+func TestJournalNDJSONPartialLines(t *testing.T) {
+	evs := genEvents(23, 400)
+	var doc bytes.Buffer
+	for _, ev := range evs {
+		line, err := MarshalNDJSON(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc.Write(line)
+	}
+	raw := bytes.TrimSuffix(doc.Bytes(), []byte("\n")) // unterminated tail
+
+	j := NewJournal()
+	for off := 0; off < len(raw); off += 71 { // deliberately mid-line
+		end := off + 71
+		if end > len(raw) {
+			end = len(raw)
+		}
+		if err := j.Append(FormatNDJSON, raw[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := j.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("journal decoded %d events, want %d", len(got), len(evs))
+	}
+}
+
+// TestJournalFormatLock: the journal refuses a mid-stream format switch
+// with the same error type the table uses.
+func TestJournalFormatLock(t *testing.T) {
+	j := NewJournal()
+	if evs, err := j.Events(); err != nil || evs != nil {
+		t.Fatalf("empty journal Events = %v, %v", evs, err)
+	}
+	if err := j.Append(FormatNDJSON, []byte("{\"kind\":\"cycle\",\"cycle\":64}\n")); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append(FormatBinary, []byte{1, 2, 3})
+	var fe *FormatError
+	if !errors.As(err, &fe) || fe.Have != FormatNDJSON || fe.Got != FormatBinary {
+		t.Fatalf("format switch = %v, want *FormatError(ndjson, binary)", err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("rejected chunk was recorded; Len = %d", j.Len())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"math/rand"
 	"reflect"
 	"testing"
 
@@ -12,59 +11,9 @@ import (
 	"paco/internal/trace"
 )
 
-// genEvents synthesizes a valid event stream: fetches open tags,
-// resolves/squashes close them, retires train, cycle markers tick —
-// deterministic by seed, exercising every estimator path.
-func genEvents(seed int64, n int) []trace.Event {
-	rng := rand.New(rand.NewSource(seed))
-	var evs []trace.Event
-	var open []uint64
-	nextTag := uint64(1)
-	cycle := uint64(0)
-	for len(evs) < n {
-		switch r := rng.Intn(10); {
-		case r < 4: // fetch
-			ev := trace.Event{
-				Kind:    trace.EvFetch,
-				Tag:     nextTag,
-				PC:      0x4000 + uint64(rng.Intn(64))*4,
-				History: uint32(rng.Intn(1 << 12)),
-				MDC:     uint8(rng.Intn(16)),
-			}
-			if rng.Intn(4) != 0 {
-				ev.Flags |= 1 // conditional
-			}
-			open = append(open, nextTag)
-			nextTag++
-			evs = append(evs, ev)
-		case r < 7 && len(open) > 0: // resolve or squash
-			i := rng.Intn(len(open))
-			tag := open[i]
-			open = append(open[:i], open[i+1:]...)
-			kind := trace.EvResolve
-			if rng.Intn(5) == 0 {
-				kind = trace.EvSquash
-			}
-			evs = append(evs, trace.Event{Kind: kind, Tag: tag})
-		case r < 9: // retire
-			ev := trace.Event{
-				Kind:    trace.EvRetire,
-				PC:      0x4000 + uint64(rng.Intn(64))*4,
-				History: uint32(rng.Intn(1 << 12)),
-				MDC:     uint8(rng.Intn(16)),
-				Flags:   1, // conditional
-			}
-			if rng.Intn(5) != 0 {
-				ev.Flags |= 2 // correct
-			}
-			evs = append(evs, ev)
-		default: // cycle marker
-			cycle += 64
-			evs = append(evs, trace.Event{Kind: trace.EvCycle, PC: cycle})
-		}
-	}
-	return evs
-}
+// genEvents is the test-local alias for the package's exported
+// synthetic workload generator (synth.go).
+func genEvents(seed int64, n int) []trace.Event { return SyntheticEvents(seed, n) }
 
 // serialize writes events as a binary trace stream.
 func serialize(t *testing.T, evs []trace.Event) []byte {

@@ -1,0 +1,65 @@
+package session
+
+import (
+	"math/rand"
+
+	"paco/internal/trace"
+)
+
+// SyntheticEvents synthesizes a valid session event stream,
+// deterministic by seed: fetches open tags, resolves (and occasional
+// squashes) close them, retires train the estimators, and cycle markers
+// tick time forward. It is the shared client-side workload generator —
+// the servertest soak and chaos suites and the paco-obs session load
+// generator all stream it, so load numbers measured outside the test
+// suite are produced by the same traffic shape the tests assert on.
+func SyntheticEvents(seed int64, n int) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var evs []trace.Event
+	var open []uint64
+	nextTag := uint64(1)
+	cycle := uint64(0)
+	for len(evs) < n {
+		switch r := rng.Intn(10); {
+		case r < 4: // fetch
+			ev := trace.Event{
+				Kind:    trace.EvFetch,
+				Tag:     nextTag,
+				PC:      0x4000 + uint64(rng.Intn(64))*4,
+				History: uint32(rng.Intn(1 << 12)),
+				MDC:     uint8(rng.Intn(16)),
+			}
+			if rng.Intn(4) != 0 {
+				ev.Flags |= 1 // conditional
+			}
+			open = append(open, nextTag)
+			nextTag++
+			evs = append(evs, ev)
+		case r < 7 && len(open) > 0: // resolve or squash
+			i := rng.Intn(len(open))
+			tag := open[i]
+			open = append(open[:i], open[i+1:]...)
+			kind := trace.EvResolve
+			if rng.Intn(5) == 0 {
+				kind = trace.EvSquash
+			}
+			evs = append(evs, trace.Event{Kind: kind, Tag: tag})
+		case r < 9: // retire
+			ev := trace.Event{
+				Kind:    trace.EvRetire,
+				PC:      0x4000 + uint64(rng.Intn(64))*4,
+				History: uint32(rng.Intn(1 << 12)),
+				MDC:     uint8(rng.Intn(16)),
+				Flags:   1, // conditional
+			}
+			if rng.Intn(5) != 0 {
+				ev.Flags |= 2 // correct
+			}
+			evs = append(evs, ev)
+		default: // cycle marker
+			cycle += 64
+			evs = append(evs, trace.Event{Kind: trace.EvCycle, PC: cycle})
+		}
+	}
+	return evs
+}

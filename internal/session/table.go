@@ -104,9 +104,19 @@ type shard struct {
 
 	mu       sync.Mutex
 	sessions map[string]*entry
+	tombs    map[string]tombstone
 	dirty    []*entry
 
 	wake chan struct{} // cap 1: coalesced worker wakeups
+}
+
+// tombstone remembers why a recently closed session went away, so a
+// straggling request (a DELETE racing the idle sweeper, a poll after an
+// eviction) gets a deterministic *GoneError instead of a flaky
+// ErrNotFound. Tombstones age out one IdleTTL after the close.
+type tombstone struct {
+	reason string
+	at     time.Time
 }
 
 // Ingest formats. A session locks onto whichever format its first chunk
@@ -143,6 +153,20 @@ var (
 	ErrTableFull = errors.New("session: session table full")     // 503
 	ErrShutdown  = errors.New("session: table is shutting down") // 503
 )
+
+// GoneError reports an operation on a session that existed but has
+// already closed; Reason is the close reason (CloseClient, CloseEvicted,
+// CloseShutdown). The server layer maps it to HTTP 410 — distinct from
+// the 404 an ID the table never issued gets — so a client whose DELETE
+// races the idle sweeper sees a deterministic verdict naming the reason
+// rather than a flaky not-found.
+type GoneError struct {
+	Reason string
+}
+
+func (e *GoneError) Error() string {
+	return fmt.Sprintf("session: closed (%s)", e.Reason)
+}
 
 // BackpressureError rejects an ingest chunk whose events would overflow
 // the session's queue. The decoder state has been rolled back: retrying
@@ -207,7 +231,8 @@ func NewTable(cfg TableConfig) *Table {
 		stop:        make(chan struct{}),
 	}
 	for i := range t.shards {
-		sh := &shard{t: t, sessions: make(map[string]*entry), wake: make(chan struct{}, 1)}
+		sh := &shard{t: t, sessions: make(map[string]*entry),
+			tombs: make(map[string]tombstone), wake: make(chan struct{}, 1)}
 		t.shards[i] = sh
 		t.wg.Add(1)
 		go sh.run()
@@ -288,7 +313,7 @@ func (t *Table) Ingest(id string, format Format, chunk []byte) (accepted, queued
 	defer sh.mu.Unlock()
 	e := sh.sessions[id]
 	if e == nil {
-		return 0, 0, ErrNotFound
+		return 0, 0, sh.missLocked(id)
 	}
 	if e.format == "" {
 		e.format = format
@@ -352,7 +377,7 @@ func (t *Table) Scores(id string) (Scores, error) {
 	defer sh.mu.Unlock()
 	e := sh.sessions[id]
 	if e == nil {
-		return Scores{}, ErrNotFound
+		return Scores{}, sh.missLocked(id)
 	}
 	t.tracker.Touch(id, t.now())
 	return e.snapshotLocked(), nil
@@ -368,7 +393,7 @@ func (t *Table) Subscribe(id string) (<-chan Scores, func(), error) {
 	defer sh.mu.Unlock()
 	e := sh.sessions[id]
 	if e == nil {
-		return nil, nil, ErrNotFound
+		return nil, nil, sh.missLocked(id)
 	}
 	ch := make(chan Scores, 1)
 	e.subs[ch] = struct{}{}
@@ -393,12 +418,22 @@ func (t *Table) Close(id, reason string) (Scores, error) {
 	defer sh.mu.Unlock()
 	e := sh.sessions[id]
 	if e == nil {
-		return Scores{}, ErrNotFound
+		return Scores{}, sh.missLocked(id)
 	}
-	delete(sh.sessions, id)
-	t.tracker.Forget(id)
+	return t.closeEntryLocked(sh, e, reason), nil
+}
 
-	sh.applyLocked(e) // drain the queue so no acknowledged event is lost
+// closeEntryLocked is the one session teardown path (DELETE, eviction,
+// shutdown), with the shard lock held: drain the queue so no
+// acknowledged event is lost, settle the final snapshot into every
+// subscriber, and leave a tombstone so later requests for the ID get a
+// deterministic GoneError carrying the reason.
+func (t *Table) closeEntryLocked(sh *shard, e *entry, reason string) Scores {
+	delete(sh.sessions, e.id)
+	t.tracker.Forget(e.id)
+	sh.tombs[e.id] = tombstone{reason: reason, at: t.now()}
+
+	sh.applyLocked(e)
 	final := e.sess.Close()
 	for ch := range e.subs {
 		sendLatest(ch, final)
@@ -413,9 +448,20 @@ func (t *Table) Close(id, reason string) (Scores, error) {
 	}
 	t.open.Add(-1)
 	t.metrics.Closed.With(reason).Inc()
-	t.log.Info("session closed", "session", id, "reason", reason,
+	t.log.Info("session closed", "session", e.id, "reason", reason,
 		"events", final.Events, "cycles", final.Cycles)
-	return final, nil
+	return final
+}
+
+// missLocked maps a missing ID, with the shard lock held, to its
+// terminal error: *GoneError while a tombstone remembers the close,
+// ErrNotFound for IDs the table never issued (or whose tombstone has
+// aged out).
+func (sh *shard) missLocked(id string) error {
+	if tb, ok := sh.tombs[id]; ok {
+		return &GoneError{Reason: tb.reason}
+	}
+	return ErrNotFound
 }
 
 // Shutdown stops the workers and the sweeper, then closes every
@@ -451,12 +497,46 @@ func (t *Table) sweep(interval time.Duration) {
 		case <-t.stop:
 			return
 		case <-ticker.C:
-			for _, id := range t.tracker.Expired(t.now()) {
-				if _, err := t.Close(id, CloseEvicted); err == nil {
-					t.log.Info("session evicted", "session", id, "idle_ttl", t.tracker.TTL().String())
-				}
+			t.sweepOnce(t.now())
+		}
+	}
+}
+
+// sweepOnce runs one eviction pass. Eviction is two-phase against the
+// tracker — Candidates lists without removing, then ExpireIf confirms
+// each claim under the candidate's shard lock. Ingest and Scores touch
+// the tracker while holding that same shard lock, so a session touched
+// after candidacy is observed here as renewed and survives the sweep;
+// the single-call Expired API removed keys at listing time and lost
+// exactly that interleaving. Expired tombstones purge on the same pass.
+func (t *Table) sweepOnce(now time.Time) {
+	t.evictExpired(t.tracker.Candidates(now), now)
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for id, tb := range sh.tombs {
+			if now.Sub(tb.at) >= t.tracker.TTL() {
+				delete(sh.tombs, id)
 			}
 		}
+		sh.mu.Unlock()
+	}
+}
+
+// evictExpired is sweepOnce's claim phase, split out so the
+// sweep-vs-touch test can interleave a renewal between candidacy and
+// the claim.
+func (t *Table) evictExpired(candidates []string, now time.Time) {
+	for _, id := range candidates {
+		sh := t.shardFor(id)
+		sh.mu.Lock()
+		e := sh.sessions[id]
+		if e == nil || !t.tracker.ExpireIf(id, now) {
+			sh.mu.Unlock()
+			continue
+		}
+		t.closeEntryLocked(sh, e, CloseEvicted)
+		sh.mu.Unlock()
+		t.log.Info("session evicted", "session", id, "idle_ttl", t.tracker.TTL().String())
 	}
 }
 

@@ -219,8 +219,9 @@ func TestTableCapsAndNotFound(t *testing.T) {
 	if _, err := tbl.Scores("s-nope-000001"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("scores unknown = %v", err)
 	}
-	if _, err := tbl.Close(a, CloseClient); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("double close = %v", err)
+	var gone *GoneError
+	if _, err := tbl.Close(a, CloseClient); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("double close = %v, want *GoneError(client)", err)
 	}
 }
 
@@ -273,7 +274,14 @@ func TestTableEviction(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := tbl.Scores(idle); errors.Is(err, ErrNotFound) {
+		_, err := tbl.Scores(idle)
+		var gone *GoneError
+		if errors.As(err, &gone) && gone.Reason != CloseEvicted {
+			t.Fatalf("idle session gone with reason %q, want %q", gone.Reason, CloseEvicted)
+		}
+		// GoneError while the tombstone lives, ErrNotFound once a later
+		// sweep (the clock advanced a further TTL above) purges it.
+		if err != nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -283,6 +291,100 @@ func TestTableEviction(t *testing.T) {
 	}
 	if _, err := tbl.Scores(busy); err != nil {
 		t.Fatalf("busy session evicted despite ingest renewals: %v", err)
+	}
+}
+
+// TestTableSweepVsTouch pins the sweep-vs-touch ordering fix with a
+// fully deterministic interleaving: a session listed as an eviction
+// candidate and then touched before the sweep claims it must survive
+// that sweep — under the old one-shot Expired sweep the listing itself
+// removed the tracker entry, so the renewal was lost and the session
+// evicted anyway.
+func TestTableSweepVsTouch(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tbl := newTestTable(t, TableConfig{
+		IdleTTL:       time.Minute,
+		SweepInterval: time.Hour, // only the manual sweeps below run
+		Now:           clock.now,
+	})
+	touched, _, _, err := tbl.Open(Spec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, _, _, err := tbl.Open(Spec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 of the sweep: both sessions are a TTL idle, so both are
+	// candidates. The client's poll lands between the phases.
+	clock.advance(time.Minute)
+	now := clock.now()
+	cands := tbl.tracker.Candidates(now)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v, want both sessions", cands)
+	}
+	if _, err := tbl.Scores(touched); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the claim must lose to the touch and take only the idle
+	// session.
+	tbl.evictExpired(cands, now)
+	if _, err := tbl.Scores(touched); err != nil {
+		t.Fatalf("session touched mid-sweep was evicted: %v", err)
+	}
+	var gone *GoneError
+	if _, err := tbl.Scores(idle); !errors.As(err, &gone) || gone.Reason != CloseEvicted {
+		t.Fatalf("idle session = %v, want *GoneError(evicted)", err)
+	}
+
+	// The renewal bought a full TTL, not forever.
+	clock.advance(time.Minute)
+	tbl.sweepOnce(clock.now())
+	if _, err := tbl.Scores(touched); !errors.As(err, &gone) || gone.Reason != CloseEvicted {
+		t.Fatalf("renewed session after a further TTL = %v, want *GoneError(evicted)", err)
+	}
+}
+
+// TestTableTombstoneGone pins the closed-session error contract: every
+// operation on a closed (but remembered) session reports *GoneError
+// with the close reason, and the tombstone ages out after one TTL, after
+// which the ID is indistinguishable from one the table never issued.
+func TestTableTombstoneGone(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tbl := newTestTable(t, TableConfig{
+		IdleTTL:       time.Minute,
+		SweepInterval: time.Hour,
+		Now:           clock.now,
+	})
+	id, _, _, err := tbl.Open(Spec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Close(id, CloseClient); err != nil {
+		t.Fatal(err)
+	}
+
+	var gone *GoneError
+	if _, _, err := tbl.Ingest(id, FormatNDJSON, nil); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("ingest after close = %v, want *GoneError(client)", err)
+	}
+	if _, err := tbl.Scores(id); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("scores after close = %v, want *GoneError(client)", err)
+	}
+	if _, _, err := tbl.Subscribe(id); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("subscribe after close = %v, want *GoneError(client)", err)
+	}
+	if _, err := tbl.Close(id, CloseClient); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("double close = %v, want *GoneError(client)", err)
+	}
+
+	// One TTL later the tombstone purges and the ID is simply unknown.
+	clock.advance(time.Minute)
+	tbl.sweepOnce(clock.now())
+	if _, err := tbl.Scores(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("scores after tombstone purge = %v, want ErrNotFound", err)
 	}
 }
 
@@ -330,9 +432,10 @@ func TestTableSubscribe(t *testing.T) {
 	}
 
 	// cancel-after-close must not double-close (exercised by the
-	// deferred cancel); subscribe on a gone session errors.
-	if _, _, err := tbl.Subscribe(id); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("subscribe after close = %v", err)
+	// deferred cancel); subscribe on a gone session reports the close.
+	var gone *GoneError
+	if _, _, err := tbl.Subscribe(id); !errors.As(err, &gone) || gone.Reason != CloseClient {
+		t.Fatalf("subscribe after close = %v, want *GoneError(client)", err)
 	}
 }
 
@@ -385,10 +488,11 @@ func TestTableConcurrentChaos(t *testing.T) {
 					}
 					_, _, err := tbl.Ingest(id, FormatBinary, raw[off:end])
 					var bp *BackpressureError
+					var gone *GoneError
 					switch {
 					case errors.As(err, &bp):
 						time.Sleep(bp.RetryAfter) // retry the same bytes
-					case errors.Is(err, ErrNotFound):
+					case errors.As(err, &gone), errors.Is(err, ErrNotFound):
 						evicted = true // a racing sweep took the session
 					case err != nil:
 						t.Errorf("ingest: %v", err)
